@@ -1,0 +1,74 @@
+// Command hostlist classifies domains against the bundled (or a
+// user-supplied) Steven-Black-format hosts list — the Figure 3
+// classification step as a standalone tool.
+//
+// Usage:
+//
+//	hostlist doubleclick.net example.com stats.g.doubleclick.net
+//	hostlist -f my-hosts.txt -q ads.example
+//	echo doubleclick.net | hostlist -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"panoptes/internal/hostlist"
+)
+
+func main() {
+	var (
+		file  = flag.String("f", "", "hosts-list file (default: bundled list)")
+		quiet = flag.Bool("q", false, "print only ad-related domains")
+	)
+	flag.Parse()
+
+	list := hostlist.Bundled()
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hostlist: %v\n", err)
+			os.Exit(1)
+		}
+		list, err = hostlist.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hostlist: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	domains := flag.Args()
+	if len(domains) == 1 && domains[0] == "-" {
+		domains = nil
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if d := sc.Text(); d != "" {
+				domains = append(domains, d)
+			}
+		}
+	}
+	if len(domains) == 0 {
+		fmt.Fprintln(os.Stderr, "hostlist: no domains given (args or '-' for stdin)")
+		os.Exit(2)
+	}
+
+	adRelated := 0
+	for _, d := range domains {
+		cat, ok := list.Match(d)
+		switch {
+		case !ok && *quiet:
+		case !ok:
+			fmt.Printf("%-40s clean (registrable: %s)\n", d, hostlist.RegistrableDomain(d))
+		case cat.AdRelated():
+			adRelated++
+			fmt.Printf("%-40s %s (ad-related)\n", d, cat)
+		case !*quiet:
+			fmt.Printf("%-40s %s\n", d, cat)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d/%d ad-related (%.1f%%)\n",
+		adRelated, len(domains), 100*float64(adRelated)/float64(len(domains)))
+}

@@ -1,0 +1,146 @@
+// Command mitmdump runs the Panoptes MITM proxy on real OS sockets as an
+// explicit HTTP(S) proxy — the standalone equivalent of the paper's
+// mitmproxy deployment. Point any HTTP client at it:
+//
+//	mitmdump -addr 127.0.0.1:8080 -ca-dir ./ca
+//	curl --proxy http://127.0.0.1:8080 --cacert ca/mitm-ca.pem https://example.com/
+//
+// Every intercepted exchange prints as a flow line; requests carrying
+// the taint header (see -token) are classified engine, others native,
+// exactly as in the testbed. Flows can be persisted with -out.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"panoptes/internal/capture"
+	"panoptes/internal/mitm"
+	"panoptes/internal/pki"
+	"panoptes/internal/taint"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		caDir  = flag.String("ca-dir", "panoptes-ca", "directory for the interception CA (created/reused)")
+		token  = flag.String("token", "", "taint token marking engine traffic (default: random)")
+		outDir = flag.String("out", "", "directory for JSONL flow databases on exit")
+	)
+	flag.Parse()
+
+	ca, err := loadOrCreateCA(*caDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mitmdump: CA at %s (install %s in your client's trust store)\n",
+		*caDir, filepath.Join(*caDir, "mitm-ca.pem"))
+
+	if *token == "" {
+		*token = taint.NewToken()
+	}
+	db := capture.NewDB()
+	splitter := taint.NewSplitter(*token, db, nil)
+
+	dialer := &net.Dialer{Timeout: 15 * time.Second}
+	proxy, err := mitm.New(mitm.Config{
+		CA: ca,
+		Dial: func(ctx context.Context, a string) (net.Conn, error) {
+			return dialer.DialContext(ctx, "tcp", a)
+		},
+		// UpstreamRoots nil: the system pool validates real servers.
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	proxy.Use(splitter)
+	proxy.Use(printAddon{})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mitmdump: proxying on %s (taint token %s)\n", *addr, *token)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		l.Close()
+	}()
+	if err := proxy.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "mitmdump: serve: %v\n", err)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err == nil {
+			writeStore(filepath.Join(*outDir, "engine.jsonl"), db.Engine)
+			writeStore(filepath.Join(*outDir, "native.jsonl"), db.Native)
+			fmt.Fprintf(os.Stderr, "mitmdump: %d engine / %d native flows written to %s\n",
+				db.Engine.Len(), db.Native.Len(), *outDir)
+		}
+	}
+}
+
+// printAddon logs each completed flow to stdout.
+type printAddon struct{}
+
+func (printAddon) Request(f *capture.Flow, req *http.Request) {}
+
+func (printAddon) Response(f *capture.Flow, resp *http.Response) {
+	status := f.Status
+	if resp != nil {
+		status = resp.StatusCode
+	}
+	fmt.Printf("[%s] %-6s %s %s://%s%s  %d\n",
+		f.Origin, f.Method, f.Time.Format("15:04:05"), f.Scheme, f.Host, f.Path, status)
+}
+
+func loadOrCreateCA(dir string) (*pki.CA, error) {
+	certPath := filepath.Join(dir, "mitm-ca.pem")
+	keyPath := filepath.Join(dir, "mitm-ca-key.pem")
+	certPEM, cerr := os.ReadFile(certPath)
+	keyPEM, kerr := os.ReadFile(keyPath)
+	if cerr == nil && kerr == nil {
+		return pki.LoadCA(certPEM, keyPEM, nil)
+	}
+	ca, err := pki.NewCA("panoptes mitmdump CA", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(certPath, ca.PEM(), 0o644); err != nil {
+		return nil, err
+	}
+	kp, err := ca.KeyPEM()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(keyPath, kp, 0o600); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}
+
+func writeStore(path string, s *capture.Store) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	s.WriteJSONL(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mitmdump: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command panoptes-report re-analyses stored capture databases: point it
+// at the engine.jsonl / native.jsonl files a previous `panoptes -out`
+// run produced and it regenerates the figures without re-crawling.
+//
+// Usage:
+//
+//	panoptes-report -dir results/
+//	panoptes-report -native results/native.jsonl -leaks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"panoptes/internal/analysis"
+	"panoptes/internal/capture"
+	"panoptes/internal/hostlist"
+	"panoptes/internal/leak"
+	"panoptes/internal/report"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "directory holding engine.jsonl and native.jsonl")
+		enginePath = flag.String("engine", "", "engine flow database (JSONL)")
+		nativePath = flag.String("native", "", "native flow database (JSONL)")
+	)
+	flag.Parse()
+
+	if *dir != "" {
+		if *enginePath == "" {
+			*enginePath = filepath.Join(*dir, "engine.jsonl")
+		}
+		if *nativePath == "" {
+			*nativePath = filepath.Join(*dir, "native.jsonl")
+		}
+	}
+	if *nativePath == "" {
+		fmt.Fprintln(os.Stderr, "panoptes-report: need -dir or -native")
+		os.Exit(2)
+	}
+
+	db := capture.NewDB()
+	if *enginePath != "" {
+		loadInto(db.Engine, *enginePath)
+	}
+	loadInto(db.Native, *nativePath)
+
+	// Browser names come from the data itself.
+	namesSet := map[string]bool{}
+	for _, f := range db.Engine.All() {
+		namesSet[f.Browser] = true
+	}
+	for _, f := range db.Native.All() {
+		namesSet[f.Browser] = true
+	}
+	delete(namesSet, "")
+	var names []string
+	for n := range namesSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "panoptes-report: no browser-attributed flows found")
+		os.Exit(1)
+	}
+
+	if db.Engine.Len() > 0 {
+		report.Fig2(os.Stdout, analysis.Fig2(db, names))
+		fmt.Println()
+		report.Fig4(os.Stdout, analysis.Fig4(db, names))
+		fmt.Println()
+	}
+	report.Fig3(os.Stdout, analysis.Fig3(db.Native, hostlist.Bundled(), names))
+	fmt.Println()
+	m, _ := analysis.Table2(db.Native, names)
+	report.Table2(os.Stdout, m, names)
+	fmt.Println()
+	findings := analysis.HistoryLeaksWithInjected(db, []string{"UC International"})
+	report.Leaks(os.Stdout, leak.Summarise(findings))
+	fmt.Println()
+	report.DNS(os.Stdout, analysis.DNSUsage(db.Native, names), names)
+	body, _ := analysis.Listing1(db.Native)
+	if body != "" {
+		fmt.Println()
+		report.Listing1(os.Stdout, body)
+	}
+}
+
+func loadInto(s *capture.Store, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "panoptes-report: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := s.ReadJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "panoptes-report: parse %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,286 @@
+// Command panoptes runs the full reproduction study: it assembles the
+// simulated testbed (virtual internet, vendor backends, generated web,
+// Android device, transparent MITM proxy), crawls the site list with the
+// selected browsers under taint instrumentation, optionally runs the
+// idle experiment, and prints every figure and table of the paper.
+//
+// Usage:
+//
+//	panoptes -sites 200 -all
+//	panoptes -browsers Yandex,QQ -fig2 -leaks
+//	panoptes -fig5 -idle 10m
+//	panoptes -table1
+//	panoptes -all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"panoptes/internal/analysis"
+	"panoptes/internal/blocker"
+	"panoptes/internal/core"
+	"panoptes/internal/leak"
+	"panoptes/internal/profiles"
+	"panoptes/internal/report"
+)
+
+func main() {
+	var (
+		sites     = flag.Int("sites", 200, "crawl-list size (paper: 1000; half Tranco, half sensitive)")
+		browsers  = flag.String("browsers", "", "comma-separated browser names (default: all 15)")
+		incognito = flag.Bool("incognito", false, "crawl in incognito mode")
+		idleDur   = flag.Duration("idle", 10*time.Minute, "idle-experiment duration (virtual time)")
+		outDir    = flag.String("out", "", "directory for JSONL flow databases and CSV outputs")
+		harOut    = flag.Bool("har", false, "with -out: also export HAR 1.2 archives")
+		block     = flag.Bool("block", false, "install the countermeasure blocker (internal/blocker)")
+
+		all      = flag.Bool("all", false, "produce every figure and table")
+		table1   = flag.Bool("table1", false, "Table 1: browser dataset")
+		fig2     = flag.Bool("fig2", false, "Figure 2: engine vs native request counts")
+		fig3     = flag.Bool("fig3", false, "Figure 3: ad-related native destinations")
+		fig4     = flag.Bool("fig4", false, "Figure 4: outgoing byte volumes")
+		fig5     = flag.Bool("fig5", false, "Figure 5: idle phone-home timelines")
+		table2   = flag.Bool("table2", false, "Table 2: PII leak matrix")
+		leaksF   = flag.Bool("leaks", false, "§3.2: browsing-history leaks")
+		geoF     = flag.Bool("geo", false, "§3.4: international transfers")
+		dnsF     = flag.Bool("dns", false, "§3.2: DoH vs local resolver split")
+		listing1 = flag.Bool("listing1", false, "Listing 1: Opera OLeads ad request")
+		crossF   = flag.Bool("crosscheck", false, "validate proxy byte accounting against kernel eBPF counters")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
+		*table2, *leaksF, *geoF, *dnsF, *listing1 = true, true, true, true, true
+	}
+	if *all {
+		*crossF = true
+	}
+	if !(*table1 || *fig2 || *fig3 || *fig4 || *fig5 || *table2 || *leaksF || *geoF || *dnsF || *listing1 || *crossF) {
+		fmt.Fprintln(os.Stderr, "panoptes: nothing selected; pass -all or specific -figN/-tableN flags")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	selected := profiles.All()
+	if *browsers != "" {
+		selected = nil
+		for _, name := range strings.Split(*browsers, ",") {
+			p := profiles.ByName(strings.TrimSpace(name))
+			if p == nil {
+				fatalf("unknown browser %q (known: %s)", name, knownNames())
+			}
+			selected = append(selected, p)
+		}
+	}
+	names := make([]string, len(selected))
+	for i, p := range selected {
+		names[i] = p.Name
+	}
+
+	if *table1 {
+		printTable1(selected)
+		fmt.Println()
+	}
+
+	needCrawl := *fig2 || *fig3 || *fig4 || *table2 || *leaksF || *geoF || *dnsF || *listing1 || *crossF
+	if !needCrawl && !*fig5 {
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "panoptes: assembling testbed (%d sites, %d browsers)...\n", *sites, len(selected))
+	w, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected})
+	if err != nil {
+		fatalf("world: %v", err)
+	}
+	defer w.Close()
+
+	var blk *blocker.Blocker
+	if *block {
+		blk = blocker.New(blocker.DefaultPolicy(), w.Hostlist)
+		w.Proxy.Use(blk)
+	}
+
+	if needCrawl {
+		fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v)...\n",
+			len(w.Sites), len(selected), *incognito)
+		start := time.Now()
+		res, err := w.RunCampaign(core.CampaignConfig{Incognito: *incognito})
+		if err != nil {
+			fatalf("campaign: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "panoptes: %d visits (%d errors, %d skipped) in %v wall / %v virtual\n",
+			len(res.Visits), res.Errors, len(res.Skipped), time.Since(start).Round(time.Millisecond),
+			w.Clock.Since(startVirtual()))
+	}
+
+	if *fig2 {
+		rows := analysis.Fig2(w.DB, names)
+		report.Fig2(os.Stdout, rows)
+		fmt.Println()
+		if *outDir != "" {
+			writeFile(*outDir, "fig2.csv", func(f *os.File) { report.CSVFig2(f, rows) })
+		}
+	}
+	if *fig3 {
+		report.Fig3(os.Stdout, analysis.Fig3(w.DB.Native, w.Hostlist, names))
+		fmt.Println()
+	}
+	if *fig4 {
+		rows := analysis.Fig4(w.DB, names)
+		report.Fig4(os.Stdout, rows)
+		fmt.Println()
+		if *outDir != "" {
+			writeFile(*outDir, "fig4.csv", func(f *os.File) { report.CSVFig4(f, rows) })
+		}
+	}
+	if *table2 {
+		m, _ := analysis.Table2(w.DB.Native, names)
+		report.Table2(os.Stdout, m, names)
+		fmt.Println()
+	}
+	var findings []leak.Finding
+	if *leaksF || *geoF {
+		var injected []string
+		for _, p := range selected {
+			if p.InjectsScript {
+				injected = append(injected, p.Name)
+			}
+		}
+		findings = analysis.HistoryLeaksWithInjected(w.DB, injected)
+	}
+	if *leaksF {
+		report.Leaks(os.Stdout, leak.Summarise(findings))
+		fmt.Println()
+		report.TrackableIDs(os.Stdout, analysis.TrackableIdentifiers(w.DB.Native))
+		fmt.Println()
+		// Per-category sensitive breakdown over the crawled dataset.
+		cats := map[string]string{}
+		var sensVisits []string
+		for _, s := range w.Sites {
+			if s.Category.Sensitive() {
+				cats[s.URL()] = string(s.Category)
+				sensVisits = append(sensVisits, s.URL())
+			}
+		}
+		browserSet := map[string]bool{}
+		for _, n := range names {
+			browserSet[n] = true
+		}
+		report.Sensitive(os.Stdout, analysis.SensitiveBreakdown(findings, sensVisits, browserSet,
+			func(u string) string { return cats[u] }))
+		fmt.Println()
+	}
+	if *geoF {
+		geo, err := w.GeoDB()
+		if err != nil {
+			fatalf("geoip: %v", err)
+		}
+		rows, err := analysis.GeoTransfers(findings, w.Inet, geo)
+		if err != nil {
+			fatalf("geo transfers: %v", err)
+		}
+		report.Geo(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *dnsF {
+		report.DNS(os.Stdout, analysis.DNSUsage(w.DB.Native, names), names)
+		fmt.Println()
+	}
+	if *crossF {
+		uidOf := map[string]int{}
+		for name, b := range w.Browsers {
+			uidOf[name] = b.UID()
+		}
+		report.VolumeCrossCheck(os.Stdout, analysis.CrossCheckVolumes(w.DB, w.Device.Accounting, uidOf))
+		fmt.Println()
+	}
+	if *listing1 {
+		body, _ := analysis.Listing1(w.DB.Native)
+		report.Listing1(os.Stdout, body)
+		fmt.Println()
+	}
+
+	if *fig5 {
+		fmt.Fprintf(os.Stderr, "panoptes: idle experiment (%v virtual) ...\n", *idleDur)
+		var series []analysis.Fig5Series
+		for _, name := range names {
+			r, err := w.RunIdle(name, *idleDur)
+			if err != nil {
+				fatalf("idle %s: %v", name, err)
+			}
+			s := analysis.Fig5(name, r.Flows, r.Start, *idleDur, 10)
+			series = append(series, s)
+			if *outDir != "" {
+				fn := fmt.Sprintf("fig5_%s.csv", strings.ReplaceAll(strings.ToLower(name), " ", "_"))
+				writeFile(*outDir, fn, func(f *os.File) { report.CSVFig5(f, s) })
+			}
+		}
+		sort.Slice(series, func(i, j int) bool { return series[i].Total > series[j].Total })
+		report.Fig5(os.Stdout, series)
+		fmt.Println()
+	}
+
+	if blk != nil {
+		s := blk.Stats()
+		fmt.Printf("countermeasure: vetoed %d of %d native requests (%v); %d engine flows untouched\n",
+			s.NativeBlocked, s.NativeExamined, s.ByReason, s.EnginePassed)
+	}
+
+	if *outDir != "" && needCrawl {
+		writeFile(*outDir, "engine.jsonl", func(f *os.File) { w.DB.Engine.WriteJSONL(f) })
+		writeFile(*outDir, "native.jsonl", func(f *os.File) { w.DB.Native.WriteJSONL(f) })
+		if *harOut {
+			writeFile(*outDir, "engine.har", func(f *os.File) { w.DB.Engine.WriteHAR(f) })
+			writeFile(*outDir, "native.har", func(f *os.File) { w.DB.Native.WriteHAR(f) })
+		}
+		fmt.Fprintf(os.Stderr, "panoptes: flow databases written to %s\n", *outDir)
+	}
+}
+
+func printTable1(selected []*profiles.Profile) {
+	fmt.Println("Table 1 — mobile browser dataset")
+	fmt.Printf("%-18s %-18s %-8s %-14s %s\n", "Browser", "Version", "CDP", "DNS", "Package")
+	for _, p := range selected {
+		cdp := "yes"
+		if p.Instrumentation == profiles.InstrumentFrida {
+			cdp = "frida"
+		}
+		fmt.Printf("%-18s %-18s %-8s %-14s %s\n", p.Name, p.Version, cdp, p.DNS, p.Package)
+	}
+}
+
+func knownNames() string {
+	var names []string
+	for _, p := range profiles.All() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func writeFile(dir, name string, write func(*os.File)) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", dir, err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatalf("create %s: %v", name, err)
+	}
+	defer f.Close()
+	write(f)
+}
+
+func startVirtual() time.Time {
+	return time.Date(2023, time.May, 12, 9, 0, 0, 0, time.UTC)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "panoptes: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package panoptes is a full reproduction of "Not only E.T. Phones Home:
+// Analysing the Native User Tracking of Mobile Browsers" (IMC 2023) as a
+// Go library: the Panoptes measurement framework (transparent MITM proxy,
+// taint-based engine/native traffic splitting, CDP and Frida
+// instrumentation) together with a simulated substrate (virtual internet,
+// Android device, 15 browser emulators, generated web, vendor backends)
+// that regenerates every figure and table of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// substitution table, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level bench_test.go regenerates each experiment:
+//
+//	go test -bench=. -benchmem
+package panoptes

@@ -1,0 +1,62 @@
+// Fullstudy: the paper's main crawl — all 15 browsers over a site list —
+// followed by Figures 2, 3 and 4 and Table 2. With the default 60 sites
+// this takes well under a minute; pass a number to scale up
+// (`go run ./examples/fullstudy 200`).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"panoptes/internal/analysis"
+	"panoptes/internal/core"
+	"panoptes/internal/profiles"
+	"panoptes/internal/report"
+)
+
+func main() {
+	sites := 60
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("usage: fullstudy [num-sites]")
+		}
+		sites = n
+	}
+
+	world, err := core.NewWorld(core.WorldConfig{Sites: sites})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	var names []string
+	for _, p := range profiles.All() {
+		names = append(names, p.Name)
+	}
+
+	start := time.Now()
+	res, err := world.RunCampaign(core.CampaignConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d visits across %d browsers in %v\n\n",
+		len(res.Visits), len(names), time.Since(start).Round(time.Millisecond))
+
+	report.Fig2(os.Stdout, analysis.Fig2(world.DB, names))
+	fmt.Println()
+	report.Fig3(os.Stdout, analysis.Fig3(world.DB.Native, world.Hostlist, names))
+	fmt.Println()
+	report.Fig4(os.Stdout, analysis.Fig4(world.DB, names))
+	fmt.Println()
+	m, findings := analysis.Table2(world.DB.Native, names)
+	report.Table2(os.Stdout, m, names)
+	fmt.Printf("\n%d individual PII findings across all native flows\n", len(findings))
+
+	body, _ := analysis.Listing1(world.DB.Native)
+	fmt.Println()
+	report.Listing1(os.Stdout, body)
+}

@@ -1,0 +1,3 @@
+module panoptes
+
+go 1.22

@@ -1,0 +1,297 @@
+// Package appium provides the UI-automation layer of the testbed: a
+// W3C-WebDriver-flavoured HTTP server that exposes app lifecycle (reset
+// to factory settings, launch, terminate) and UI interaction (find
+// elements, tap), plus a Go client. Panoptes uses it exactly as the
+// paper does (§2.1): reset each browser before a campaign and click
+// through its setup wizard.
+package appium
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// App is the automation surface a device app exposes. The browser
+// emulator implements it.
+type App interface {
+	Launch() error
+	Stop()
+	Reset() error
+	Running() bool
+	UIElements() []UIElement
+	UITap(id string) error
+}
+
+// UIElement mirrors the browser package's element descriptor without
+// importing it.
+type UIElement struct {
+	ID      string `json:"id"`
+	Text    string `json:"text"`
+	Class   string `json:"class"`
+	Enabled bool   `json:"enabled"`
+}
+
+// ElementSource lets apps report their UI tree; adapters convert their
+// native element type.
+type ElementSource func() []UIElement
+
+// Server is the Appium endpoint.
+type Server struct {
+	mu       sync.Mutex
+	apps     map[string]App // appPackage -> app
+	sessions map[string]string
+	nextSess int
+}
+
+// NewServer returns an empty server; register apps before driving them.
+func NewServer() *Server {
+	return &Server{apps: make(map[string]App), sessions: make(map[string]string)}
+}
+
+// RegisterApp makes an app automatable.
+func (s *Server) RegisterApp(pkg string, app App) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apps[pkg] = app
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the HTTP API.
+//
+//	POST   /session                      {"capabilities":{"appPackage":...}}
+//	DELETE /session/{id}
+//	POST   /session/{id}/app/reset
+//	POST   /session/{id}/app/launch
+//	POST   /session/{id}/app/terminate
+//	GET    /session/{id}/elements
+//	POST   /session/{id}/element/{eid}/click
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+			return
+		}
+		var body struct {
+			Capabilities struct {
+				AppPackage string `json:"appPackage"`
+			} `json:"capabilities"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad capabilities: " + err.Error()})
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.apps[body.Capabilities.AppPackage]; !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				fmt.Sprintf("app %q not installed", body.Capabilities.AppPackage)})
+			return
+		}
+		s.nextSess++
+		id := fmt.Sprintf("sess-%d", s.nextSess)
+		s.sessions[id] = body.Capabilities.AppPackage
+		writeJSON(w, http.StatusOK, map[string]string{"sessionId": id})
+	})
+	mux.HandleFunc("/session/", func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/session/"), "/")
+		sessID := parts[0]
+		s.mu.Lock()
+		pkg, ok := s.sessions[sessID]
+		app := s.apps[pkg]
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{"unknown session " + sessID})
+			return
+		}
+		rest := strings.Join(parts[1:], "/")
+		switch {
+		case rest == "" && r.Method == http.MethodDelete:
+			s.mu.Lock()
+			delete(s.sessions, sessID)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		case rest == "app/reset" && r.Method == http.MethodPost:
+			if err := app.Reset(); err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		case rest == "app/launch" && r.Method == http.MethodPost:
+			if err := app.Launch(); err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		case rest == "app/terminate" && r.Method == http.MethodPost:
+			app.Stop()
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		case rest == "elements" && r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string][]UIElement{"elements": app.UIElements()})
+		case strings.HasPrefix(rest, "element/") && strings.HasSuffix(rest, "/click") && r.Method == http.MethodPost:
+			eid := strings.TrimSuffix(strings.TrimPrefix(rest, "element/"), "/click")
+			if err := app.UITap(eid); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		default:
+			writeJSON(w, http.StatusNotFound, errorResponse{"no route " + r.Method + " " + rest})
+		}
+	})
+	return mux
+}
+
+// Client drives a Server over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for baseURL ("http://host:port") using dial
+// for transport.
+func NewClient(baseURL string, dial func(ctx context.Context, addr string) (net.Conn, error)) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP: &http.Client{Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return dial(ctx, addr)
+			},
+		}},
+	}
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("appium: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("appium: %s %s: %s", method, path, er.Error)
+		}
+		return fmt.Errorf("appium: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Session is an open automation session.
+type Session struct {
+	c  *Client
+	ID string
+}
+
+// NewSession opens a session on an app package.
+func (c *Client) NewSession(appPackage string) (*Session, error) {
+	var out struct {
+		SessionID string `json:"sessionId"`
+	}
+	err := c.do(http.MethodPost, "/session", map[string]any{
+		"capabilities": map[string]string{"appPackage": appPackage},
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: out.SessionID}, nil
+}
+
+// Reset resets the app to factory settings.
+func (s *Session) Reset() error {
+	return s.c.do(http.MethodPost, "/session/"+s.ID+"/app/reset", nil, nil)
+}
+
+// Launch starts the app.
+func (s *Session) Launch() error {
+	return s.c.do(http.MethodPost, "/session/"+s.ID+"/app/launch", nil, nil)
+}
+
+// Terminate stops the app.
+func (s *Session) Terminate() error {
+	return s.c.do(http.MethodPost, "/session/"+s.ID+"/app/terminate", nil, nil)
+}
+
+// Elements lists visible UI elements.
+func (s *Session) Elements() ([]UIElement, error) {
+	var out struct {
+		Elements []UIElement `json:"elements"`
+	}
+	if err := s.c.do(http.MethodGet, "/session/"+s.ID+"/elements", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Elements, nil
+}
+
+// Click taps an element by id.
+func (s *Session) Click(elementID string) error {
+	return s.c.do(http.MethodPost, "/session/"+s.ID+"/element/"+elementID+"/click", nil, nil)
+}
+
+// Close deletes the session.
+func (s *Session) Close() error {
+	return s.c.do(http.MethodDelete, "/session/"+s.ID, nil, nil)
+}
+
+// CompleteWizard clicks through a first-run wizard: it taps the single
+// enabled button on each page until the browser chrome (url_bar)
+// appears, with a step bound to catch loops.
+func (s *Session) CompleteWizard() error {
+	for step := 0; step < 16; step++ {
+		els, err := s.Elements()
+		if err != nil {
+			return err
+		}
+		if len(els) == 0 {
+			return fmt.Errorf("appium: no elements on screen")
+		}
+		done := false
+		for _, e := range els {
+			if e.ID == "url_bar" {
+				done = true
+			}
+		}
+		if done {
+			return nil
+		}
+		if err := s.Click(els[0].ID); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("appium: wizard did not finish within step bound")
+}

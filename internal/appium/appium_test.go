@@ -1,0 +1,208 @@
+package appium
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"panoptes/internal/netsim"
+)
+
+// fakeApp implements App with a two-step wizard.
+type fakeApp struct {
+	mu       sync.Mutex
+	running  bool
+	resets   int
+	step     int
+	failNext bool
+}
+
+func (a *fakeApp) Launch() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failNext {
+		a.failNext = false
+		return fmt.Errorf("activity crashed")
+	}
+	a.running = true
+	return nil
+}
+
+func (a *fakeApp) Stop() { a.mu.Lock(); a.running = false; a.mu.Unlock() }
+
+func (a *fakeApp) Reset() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.running = false
+	a.resets++
+	a.step = 0
+	return nil
+}
+
+func (a *fakeApp) Running() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.running }
+
+func (a *fakeApp) UIElements() []UIElement {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch a.step {
+	case 0:
+		return []UIElement{{ID: "accept", Text: "Accept", Enabled: true}}
+	case 1:
+		return []UIElement{{ID: "skip", Text: "Skip", Enabled: true}}
+	default:
+		return []UIElement{{ID: "url_bar", Enabled: true}}
+	}
+}
+
+func (a *fakeApp) UITap(id string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	want := []string{"accept", "skip"}
+	if a.step < len(want) {
+		if id != want[a.step] {
+			return fmt.Errorf("no element %q", id)
+		}
+		a.step++
+		return nil
+	}
+	if id == "url_bar" {
+		return nil
+	}
+	return fmt.Errorf("no element %q", id)
+}
+
+func testClientServer(t *testing.T) (*Client, *fakeApp) {
+	t.Helper()
+	inet := netsim.New()
+	srv := NewServer()
+	app := &fakeApp{}
+	srv.RegisterApp("com.fake.browser", app)
+	l, _, err := inet.ListenDomain("appium.local", "US", 4723)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	t.Cleanup(func() { hs.Close() })
+
+	c := NewClient("http://appium.local:4723", func(ctx context.Context, addr string) (net.Conn, error) {
+		return inet.Dial(ctx, addr)
+	})
+	return c, app
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	c, app := testClientServer(t)
+	sess, err := c.NewSession("com.fake.browser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if app.resets != 1 {
+		t.Fatalf("resets = %d", app.resets)
+	}
+	if err := sess.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Running() {
+		t.Fatal("app not running")
+	}
+	if err := sess.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.Running() {
+		t.Fatal("app still running")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Session gone.
+	if err := sess.Launch(); err == nil {
+		t.Fatal("launch on closed session succeeded")
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	c, _ := testClientServer(t)
+	if _, err := c.NewSession("com.ghost"); err == nil ||
+		!strings.Contains(err.Error(), "not installed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestElementsAndClick(t *testing.T) {
+	c, app := testClientServer(t)
+	sess, _ := c.NewSession("com.fake.browser")
+	sess.Launch()
+	els, err := sess.Elements()
+	if err != nil || len(els) != 1 || els[0].ID != "accept" {
+		t.Fatalf("elements = %v, %v", els, err)
+	}
+	if err := sess.Click("wrong"); err == nil {
+		t.Fatal("wrong click succeeded")
+	}
+	if err := sess.Click("accept"); err != nil {
+		t.Fatal(err)
+	}
+	if app.step != 1 {
+		t.Fatalf("step = %d", app.step)
+	}
+}
+
+func TestCompleteWizard(t *testing.T) {
+	c, app := testClientServer(t)
+	sess, _ := c.NewSession("com.fake.browser")
+	sess.Launch()
+	if err := sess.CompleteWizard(); err != nil {
+		t.Fatal(err)
+	}
+	if app.step != 2 {
+		t.Fatalf("wizard ended at step %d", app.step)
+	}
+	// Running again is a no-op (url_bar already visible).
+	if err := sess.CompleteWizard(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchErrorPropagates(t *testing.T) {
+	c, app := testClientServer(t)
+	app.failNext = true
+	sess, _ := c.NewSession("com.fake.browser")
+	if err := sess.Launch(); err == nil || !strings.Contains(err.Error(), "activity crashed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := testClientServer(t)
+	// Bad route.
+	if err := c.do(http.MethodGet, "/session/none/elements", nil, nil); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+	// Method not allowed on /session.
+	if err := c.do(http.MethodGet, "/session", nil, nil); err == nil {
+		t.Fatal("GET /session accepted")
+	}
+}
+
+func TestMultipleSessionsOneApp(t *testing.T) {
+	c, _ := testClientServer(t)
+	s1, err := c.NewSession("com.fake.browser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.NewSession("com.fake.browser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID == s2.ID {
+		t.Fatal("duplicate session ids")
+	}
+}

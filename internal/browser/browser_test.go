@@ -1,0 +1,273 @@
+package browser_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"panoptes/internal/browser"
+	"panoptes/internal/core"
+	"panoptes/internal/profiles"
+)
+
+// newWorld builds a small testbed; browser behaviour is verified through
+// the vendor backends and capture DB, never through emulator internals.
+func newWorld(t *testing.T, names ...string) *core.World {
+	t.Helper()
+	var profs []*profiles.Profile
+	for _, n := range names {
+		p := profiles.ByName(n)
+		if p == nil {
+			t.Fatalf("no profile %q", n)
+		}
+		profs = append(profs, p)
+	}
+	w, err := core.NewWorld(core.WorldConfig{Sites: 4, Profiles: profs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func launchReady(t *testing.T, w *core.World, name string) *browser.Browser {
+	t.Helper()
+	b, err := w.Browser(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	b.CompleteWizard()
+	return b
+}
+
+func TestLaunchTwiceFails(t *testing.T) {
+	w := newWorld(t, "Chrome")
+	b := launchReady(t, w, "Chrome")
+	if err := b.Launch(); err == nil {
+		t.Fatal("second launch succeeded")
+	}
+	b.Stop()
+	b.Stop() // idempotent
+	if err := b.Launch(); err != nil {
+		t.Fatalf("relaunch after stop: %v", err)
+	}
+}
+
+func TestNavigateBlockedByWizard(t *testing.T) {
+	w := newWorld(t, "Chrome")
+	b, _ := w.Browser("Chrome")
+	if err := b.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Navigate(w.Sites[0].URL()); err == nil ||
+		!strings.Contains(err.Error(), "wizard") {
+		t.Fatalf("err = %v, want wizard gate", err)
+	}
+	b.CompleteWizard()
+	if _, err := b.Navigate(w.Sites[0].URL()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNavigateWhileStoppedFails(t *testing.T) {
+	w := newWorld(t, "Chrome")
+	b, _ := w.Browser("Chrome")
+	if _, err := b.Navigate("https://x/"); err == nil {
+		t.Fatal("navigation before launch succeeded")
+	}
+}
+
+func TestWizardUIFlow(t *testing.T) {
+	w := newWorld(t, "Brave")
+	b, _ := w.Browser("Brave")
+	b.Launch()
+	if b.WizardDone() {
+		t.Fatal("wizard done before any taps")
+	}
+	steps := 0
+	for !b.WizardDone() {
+		els := b.UIElements()
+		if len(els) != 1 {
+			t.Fatalf("elements = %v", els)
+		}
+		// Tapping the wrong element fails.
+		if err := b.UITap("nonexistent"); err == nil {
+			t.Fatal("tap on missing element succeeded")
+		}
+		if err := b.UITap(els[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("wizard never completes")
+		}
+	}
+	if steps != 3 {
+		t.Fatalf("wizard steps = %d", steps)
+	}
+	// Browser chrome now visible.
+	els := b.UIElements()
+	if len(els) == 0 || els[0].ID != "url_bar" {
+		t.Fatalf("post-wizard elements = %v", els)
+	}
+	if err := b.UITap("url_bar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UITap("bogus"); err == nil {
+		t.Fatal("bogus tap succeeded")
+	}
+}
+
+func TestUIWhileStopped(t *testing.T) {
+	w := newWorld(t, "Brave")
+	b, _ := w.Browser("Brave")
+	if els := b.UIElements(); els != nil {
+		t.Fatalf("elements while stopped = %v", els)
+	}
+	if err := b.UITap("terms_accept"); err == nil {
+		t.Fatal("tap while stopped succeeded")
+	}
+}
+
+func TestUUIDLifecycle(t *testing.T) {
+	w := newWorld(t, "Yandex")
+	b := launchReady(t, w, "Yandex")
+	id1 := b.UUID()
+	if len(id1) != 64 {
+		t.Fatalf("uuid = %q", id1)
+	}
+	// Survives stop/relaunch.
+	b.Stop()
+	b.Launch()
+	if b.UUID() != id1 {
+		t.Fatal("uuid changed across relaunch")
+	}
+	// Dies with a factory reset.
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if b.UUID() != "" {
+		t.Fatal("uuid survived reset")
+	}
+	b.Launch()
+	if b.UUID() == id1 || b.UUID() == "" {
+		t.Fatalf("uuid after reset = %q", b.UUID())
+	}
+}
+
+func TestIncognitoGating(t *testing.T) {
+	w := newWorld(t, "Yandex", "Edge")
+	y, _ := w.Browser("Yandex")
+	if err := y.SetIncognito(true); err == nil {
+		t.Fatal("Yandex incognito accepted (footnote 5)")
+	}
+	e, _ := w.Browser("Edge")
+	e.Launch()
+	if err := e.SetIncognito(true); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Incognito() {
+		t.Fatal("incognito not set")
+	}
+	e.SetIncognito(false)
+}
+
+func TestNativeVisitTrafficReachesVendors(t *testing.T) {
+	w := newWorld(t, "Yandex")
+	b := launchReady(t, w, "Yandex")
+	sba := w.Vendors.Backend("sba.yandex.net")
+	before := sba.Count()
+	if _, err := b.Navigate(w.Sites[0].URL()); err != nil {
+		t.Fatal(err)
+	}
+	if sba.Count() != before+1 {
+		t.Fatalf("sba requests = %d, want %d", sba.Count(), before+1)
+	}
+	// The logged request carries the Base64 URL.
+	reqs := sba.Requests()
+	last := reqs[len(reqs)-1]
+	if !strings.Contains(last.Query, "url=") {
+		t.Fatalf("sba query = %q", last.Query)
+	}
+}
+
+func TestIdleCurveShape(t *testing.T) {
+	w := newWorld(t, "Opera", "Chrome")
+	opera := launchReady(t, w, "Opera")
+	chrome := launchReady(t, w, "Chrome")
+	_ = opera
+	_ = chrome
+
+	news := w.Vendors.Backend("news.opera-api.com")
+	gstatic := w.Vendors.Backend("t0.gstatic.com")
+
+	// One virtual minute: Chrome's burst dominates; by ten minutes
+	// Opera's linear feed polling has overtaken its own first minute.
+	w.Clock.Advance(1 * time.Minute)
+	newsAt1 := news.Count()
+	gstaticAt1 := gstatic.Count()
+	w.Clock.Advance(9 * time.Minute)
+	newsAt10 := news.Count()
+	gstaticAt10 := gstatic.Count()
+
+	if newsAt10 <= newsAt1*3 {
+		t.Fatalf("Opera news feed not linear: %d → %d", newsAt1, newsAt10)
+	}
+	// Chrome favicon refreshes plateau: most happen in the first minute.
+	if gstaticAt1 == 0 {
+		t.Fatal("no Chrome burst traffic")
+	}
+	growth := float64(gstaticAt10-gstaticAt1) / float64(gstaticAt1)
+	if growth > 3 {
+		t.Fatalf("Chrome favicon traffic not plateauing: %d → %d", gstaticAt1, gstaticAt10)
+	}
+}
+
+func TestStopHaltsIdleTraffic(t *testing.T) {
+	w := newWorld(t, "Edge")
+	b := launchReady(t, w, "Edge")
+	w.Clock.Advance(30 * time.Second)
+	b.Stop()
+	msn := w.Vendors.Backend("msn.com")
+	before := msn.Count()
+	w.Clock.Advance(5 * time.Minute)
+	if msn.Count() != before {
+		t.Fatalf("idle traffic after stop: %d → %d", before, msn.Count())
+	}
+}
+
+func TestDevToolsURLOnlyForCDP(t *testing.T) {
+	w := newWorld(t, "Chrome", "QQ")
+	c := launchReady(t, w, "Chrome")
+	if !strings.HasPrefix(c.DevToolsURL(), "ws://") {
+		t.Fatalf("chrome devtools = %q", c.DevToolsURL())
+	}
+	q := launchReady(t, w, "QQ")
+	if q.DevToolsURL() != "" {
+		t.Fatalf("QQ (frida) exposes devtools: %q", q.DevToolsURL())
+	}
+	c.Stop()
+	if c.DevToolsURL() != "" {
+		t.Fatal("devtools URL survives stop")
+	}
+}
+
+func TestNativeErrorsCountPinnedFailures(t *testing.T) {
+	w := newWorld(t, "QQ")
+	b := launchReady(t, w, "QQ")
+	// Divert QQ so the pinned host hits the MITM proxy and fails.
+	if err := w.Device.DivertBrowser(b.UID(), core.ProxyAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Navigate(w.Sites[0].URL()); err != nil {
+		t.Fatal(err)
+	}
+	// QQ's noise rotation hits cloud.browser.qq.com within a few visits.
+	b.Navigate(w.Sites[1].URL())
+	if b.NativeErrors() == 0 {
+		t.Fatal("pinned-host failures not counted")
+	}
+}

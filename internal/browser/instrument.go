@@ -1,0 +1,140 @@
+package browser
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"panoptes/internal/cdp"
+	"panoptes/internal/frida"
+	"panoptes/internal/hostlist"
+)
+
+// engineBlocklist is the easylist stand-in CocCoc's engine enforces.
+var engineBlocklist = hostlist.Bundled()
+
+// --- CDP server surface ---
+
+// startCDP exposes the DevTools endpoint on the control network (the
+// adb-forwarded channel — deliberately outside the diverted data path).
+func (b *Browser) startCDP() error {
+	srv := cdp.NewServer()
+	srv.Register(cdp.MethodBrowserVersion, func(json.RawMessage) (any, error) {
+		return cdp.VersionResult{
+			Product:  fmt.Sprintf("%s/%s", b.Profile.Name, b.Profile.Version),
+			Revision: "panoptes-sim",
+		}, nil
+	})
+	srv.Register(cdp.MethodPageEnable, func(json.RawMessage) (any, error) { return nil, nil })
+	srv.Register(cdp.MethodNetworkEnable, func(json.RawMessage) (any, error) {
+		b.mu.Lock()
+		b.netEnabled = true
+		b.mu.Unlock()
+		return nil, nil
+	})
+	srv.Register(cdp.MethodFetchEnable, func(json.RawMessage) (any, error) {
+		b.mu.Lock()
+		b.fetchEnabled = true
+		b.mu.Unlock()
+		return nil, nil
+	})
+	srv.Register(cdp.MethodFetchDisable, func(json.RawMessage) (any, error) {
+		b.mu.Lock()
+		b.fetchEnabled = false
+		b.mu.Unlock()
+		return nil, nil
+	})
+	srv.Register(cdp.MethodFetchContinue, func(raw json.RawMessage) (any, error) {
+		var p cdp.ContinueParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		b.pausedMu.Lock()
+		ch, ok := b.paused[p.RequestID]
+		b.pausedMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("Invalid InterceptionId: %s", p.RequestID)
+		}
+		ch <- p.Headers
+		return nil, nil
+	})
+	srv.Register(cdp.MethodPageNavigate, func(raw json.RawMessage) (any, error) {
+		var p cdp.NavigateParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		res, err := b.Navigate(p.URL)
+		out := cdp.NavigateResult{FrameID: fmt.Sprintf("frame-%d", b.Pkg.UID)}
+		if res != nil {
+			out.LoadTimeMs = res.LoadTimeMs
+		}
+		if err != nil {
+			out.ErrorText = err.Error()
+		}
+		return out, nil
+	})
+
+	port := b.opts.ControlPort
+	if port == 0 {
+		port = 9222
+	}
+	l, err := b.dev.Net.ListenIP(b.opts.ControlIP, port)
+	if err != nil {
+		return fmt.Errorf("browser: devtools listener: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.HTTPHandler()}
+	go httpSrv.Serve(l)
+
+	b.mu.Lock()
+	b.cdpServer = srv
+	b.cdpListener = l
+	b.cdpHTTP = httpSrv
+	b.cdpURL = fmt.Sprintf("ws://%s:%d/devtools/browser", b.opts.ControlIP, port)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *Browser) stopCDP() {
+	b.mu.Lock()
+	httpSrv := b.cdpHTTP
+	l := b.cdpListener
+	b.cdpServer = nil
+	b.cdpHTTP = nil
+	b.cdpListener = nil
+	b.cdpURL = ""
+	b.fetchEnabled = false
+	b.netEnabled = false
+	b.mu.Unlock()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if l != nil {
+		l.Close()
+	}
+}
+
+// --- Frida surface ---
+
+// fridaExports exposes the app's hookable symbols: the WebView load
+// entry point and the request-dispatch hook installer.
+func (b *Browser) fridaExports() frida.Exports {
+	return frida.Exports{
+		LoadURL: func(url string) (int64, error) {
+			res, err := b.Navigate(url)
+			if res != nil {
+				return res.LoadTimeMs, err
+			}
+			return 0, err
+		},
+		SetRequestHook: func(h frida.RequestHook) {
+			b.mu.Lock()
+			if h == nil {
+				b.fridaHook = nil
+			} else {
+				b.fridaHook = func(req *http.Request) error { return h(req) }
+			}
+			b.mu.Unlock()
+		},
+		Version: func() string { return b.Profile.Version },
+	}
+}

@@ -1,0 +1,80 @@
+package browser
+
+import "fmt"
+
+// The first-run setup wizard. The paper's methodology resets each app to
+// factory settings and then clicks through its setup wizard before
+// crawling (§2.1); Appium drives these elements.
+
+// UIElement is one on-screen element Appium can find and tap.
+type UIElement struct {
+	ID      string
+	Text    string
+	Class   string
+	Enabled bool
+}
+
+// wizardSteps are the generic first-run pages: terms, default-browser
+// nag, telemetry consent.
+var wizardSteps = []UIElement{
+	{ID: "terms_accept", Text: "Accept & continue", Class: "android.widget.Button"},
+	{ID: "default_browser_skip", Text: "No thanks", Class: "android.widget.Button"},
+	{ID: "usage_stats_continue", Text: "Continue", Class: "android.widget.Button"},
+}
+
+// WizardDone reports whether the first-run experience is finished.
+func (b *Browser) WizardDone() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wizardStep >= len(wizardSteps)
+}
+
+// UIElements returns the currently visible elements: the active wizard
+// page's button, or the browser chrome once setup is complete.
+func (b *Browser) UIElements() []UIElement {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running {
+		return nil
+	}
+	if b.wizardStep < len(wizardSteps) {
+		e := wizardSteps[b.wizardStep]
+		e.Enabled = true
+		return []UIElement{e}
+	}
+	return []UIElement{
+		{ID: "url_bar", Text: "", Class: "android.widget.EditText", Enabled: true},
+		{ID: "menu_button", Text: "", Class: "android.widget.ImageButton", Enabled: true},
+	}
+}
+
+// UITap taps an element by ID, advancing the wizard when its button is
+// tapped.
+func (b *Browser) UITap(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running {
+		return fmt.Errorf("browser: %s not running", b.Profile.Name)
+	}
+	if b.wizardStep < len(wizardSteps) {
+		want := wizardSteps[b.wizardStep].ID
+		if id != want {
+			return fmt.Errorf("browser: no element %q on screen (showing %q)", id, want)
+		}
+		b.wizardStep++
+		return nil
+	}
+	switch id {
+	case "url_bar", "menu_button":
+		return nil
+	}
+	return fmt.Errorf("browser: no element %q on screen", id)
+}
+
+// CompleteWizard fast-forwards the first-run flow, for tests that do not
+// exercise the Appium path.
+func (b *Browser) CompleteWizard() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wizardStep = len(wizardSteps)
+}

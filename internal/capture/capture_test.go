@@ -1,0 +1,232 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkFlow(id int64, host, browser string, origin Origin, reqBytes int) *Flow {
+	return &Flow{
+		ID: id, Time: time.Unix(1683900000, 0).UTC(),
+		Browser: browser, Host: host, Method: "GET", Scheme: "https",
+		Path: "/", Origin: origin, ReqBytes: reqBytes, RespBytes: 2 * reqBytes,
+	}
+}
+
+func TestFlowURL(t *testing.T) {
+	f := &Flow{Scheme: "https", Host: "example.com", Path: "/watch", RawQuery: "v=abc123"}
+	if got := f.URL(); got != "https://example.com/watch?v=abc123" {
+		t.Fatalf("URL = %q", got)
+	}
+}
+
+func TestHeaderGetNilSafe(t *testing.T) {
+	f := &Flow{}
+	if f.HeaderGet("User-Agent") != "" {
+		t.Fatal("nil header returned value")
+	}
+	f.Headers = http.Header{"User-Agent": []string{"sim"}}
+	if f.HeaderGet("user-agent") != "sim" {
+		t.Fatal("case-insensitive get failed")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Add(mkFlow(1, "a.example", "Chrome", OriginEngine, 100))
+	s.Add(mkFlow(2, "b.example", "Chrome", OriginNative, 50))
+	s.Add(mkFlow(3, "a.example", "Edge", OriginNative, 25))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := len(s.ByBrowser("Chrome")); got != 2 {
+		t.Fatalf("ByBrowser = %d", got)
+	}
+	hosts := s.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a.example" || hosts[1] != "b.example" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	if got := s.TotalBytes(false); got != 175 {
+		t.Fatalf("req bytes = %d", got)
+	}
+	if got := s.TotalBytes(true); got != 175+350 {
+		t.Fatalf("total bytes = %d", got)
+	}
+	natives := s.Filter(func(f *Flow) bool { return f.Origin == OriginNative })
+	if len(natives) != 2 {
+		t.Fatalf("natives = %d", len(natives))
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNextFlowIDMonotonic(t *testing.T) {
+	a, b := NextFlowID(), NextFlowID()
+	if b <= a {
+		t.Fatalf("ids not increasing: %d, %d", a, b)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := NewStore()
+	f := mkFlow(1, "site.example", "Yandex", OriginNative, 64)
+	f.RawQuery = "url=aHR0cHM6Ly9leGFtcGxlLmNvbS8"
+	f.Headers = http.Header{"User-Agent": []string{"YaBrowser"}}
+	f.Body = []byte(`{"k":"v"}`)
+	f.VisitURL = "https://example.com/"
+	s.Add(f)
+	s.Add(mkFlow(2, "other.example", "Yandex", OriginEngine, 10))
+
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.ReadJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded = %d", loaded.Len())
+	}
+	got := loaded.All()[0]
+	if got.RawQuery != f.RawQuery || got.VisitURL != f.VisitURL || string(got.Body) != string(f.Body) {
+		t.Fatalf("flow corrupted: %+v", got)
+	}
+	if got.Headers.Get("User-Agent") != "YaBrowser" {
+		t.Fatal("headers lost")
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	s := NewStore()
+	if err := s.ReadJSONL(bytes.NewReader([]byte("{\n"))); err == nil {
+		t.Fatal("bad JSONL accepted")
+	}
+	// Blank lines are fine.
+	if err := s.ReadJSONL(bytes.NewReader([]byte("\n\n"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBStoreFor(t *testing.T) {
+	db := NewDB()
+	db.StoreFor(OriginEngine).Add(mkFlow(1, "x", "b", OriginEngine, 1))
+	db.StoreFor(OriginNative).Add(mkFlow(2, "x", "b", OriginNative, 1))
+	if db.Engine.Len() != 1 || db.Native.Len() != 1 {
+		t.Fatalf("engine=%d native=%d", db.Engine.Len(), db.Native.Len())
+	}
+	db.Reset()
+	if db.Engine.Len()+db.Native.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestVisitContext(t *testing.T) {
+	vc := NewVisitContext()
+	vc.SetBrowser(10089, "Opera")
+	// Outside a visit: name only.
+	v := vc.Lookup(10089)
+	if v.Browser != "Opera" || v.URL != "" {
+		t.Fatalf("idle lookup = %+v", v)
+	}
+	vc.BeginVisit(10089, "https://example.com/", true)
+	v = vc.Lookup(10089)
+	if v.URL != "https://example.com/" || !v.Incognito || v.Browser != "Opera" {
+		t.Fatalf("visit lookup = %+v", v)
+	}
+	vc.EndVisit(10089)
+	if vc.Lookup(10089).URL != "" {
+		t.Fatal("visit survived EndVisit")
+	}
+	// Unknown UID.
+	if vc.Lookup(99999).Browser != "" {
+		t.Fatal("unknown uid has a browser")
+	}
+}
+
+func TestHARExport(t *testing.T) {
+	s := NewStore()
+	f := mkFlow(1, "sba.yandex.net", "Yandex", OriginNative, 64)
+	f.RawQuery = "url=aGVsbG8&fmt=b64"
+	f.Headers = http.Header{"User-Agent": []string{"YaBrowser"}, "Content-Type": []string{"application/json"}}
+	f.Body = []byte(`{"k":"v"}`)
+	f.Status = 200
+	f.VisitURL = "https://example.com/"
+	s.Add(f)
+	f2 := mkFlow(2, "blocked.example", "Yandex", OriginNative, 10)
+	f2.Status = 403
+	f2.Err = "vetoed: ad-host"
+	s.Add(f2)
+
+	var buf bytes.Buffer
+	if err := s.WriteHAR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var har HAR
+	if err := json.Unmarshal(buf.Bytes(), &har); err != nil {
+		t.Fatalf("exported HAR is not valid JSON: %v", err)
+	}
+	if har.Log.Version != "1.2" || len(har.Log.Entries) != 2 {
+		t.Fatalf("har = %+v", har.Log)
+	}
+	e := har.Log.Entries[0]
+	if e.Request.URL != "https://sba.yandex.net/?url=aGVsbG8&fmt=b64" {
+		t.Fatalf("url = %q", e.Request.URL)
+	}
+	if e.Request.PostData == nil || e.Request.PostData.MimeType != "application/json" {
+		t.Fatalf("postData = %+v", e.Request.PostData)
+	}
+	if len(e.Request.QueryString) != 2 {
+		t.Fatalf("queryString = %v", e.Request.QueryString)
+	}
+	if !strings.Contains(e.Comment, "origin=native") || !strings.Contains(e.Comment, "visit=https://example.com/") {
+		t.Fatalf("comment = %q", e.Comment)
+	}
+	e2 := har.Log.Entries[1]
+	if e2.Response.Status != 403 || e2.Response.StatusText != "Forbidden" ||
+		!strings.Contains(e2.Comment, "vetoed") {
+		t.Fatalf("blocked entry = %+v", e2)
+	}
+}
+
+// Property: any flow survives a JSONL round trip field-for-field.
+func TestPropertyJSONLRoundTrip(t *testing.T) {
+	f := func(id int64, host, browser, query string, body []byte, status int, incog bool) bool {
+		// JSON replaces invalid UTF-8 with U+FFFD; normalise inputs the
+		// same way so the comparison tests our code, not the generator.
+		host = strings.ToValidUTF8(host, "\uFFFD")
+		browser = strings.ToValidUTF8(browser, "\uFFFD")
+		query = strings.ToValidUTF8(query, "\uFFFD")
+		orig := &Flow{
+			ID: id, Time: time.Unix(1683900000, 0).UTC(), Browser: browser,
+			Method: "POST", Scheme: "https", Host: host, Path: "/p",
+			RawQuery: query, Body: body, Status: status, Incognito: incog,
+			Origin: OriginNative,
+		}
+		s := NewStore()
+		s.Add(orig)
+		var buf bytes.Buffer
+		if err := s.WriteJSONL(&buf); err != nil {
+			return false
+		}
+		s2 := NewStore()
+		if err := s2.ReadJSONL(&buf); err != nil {
+			return false
+		}
+		got := s2.All()[0]
+		return got.ID == orig.ID && got.Host == orig.Host && got.Browser == orig.Browser &&
+			got.RawQuery == orig.RawQuery && bytes.Equal(got.Body, orig.Body) &&
+			got.Status == orig.Status && got.Incognito == orig.Incognito &&
+			got.Origin == orig.Origin && got.Time.Equal(orig.Time)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

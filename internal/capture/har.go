@@ -1,0 +1,155 @@
+package capture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"time"
+)
+
+// HAR export (HTTP Archive 1.2): flows serialise to the interchange
+// format browser devtools and proxy tools consume, so a Panoptes capture
+// can be inspected with standard HAR viewers.
+
+// HAR is the top-level archive document.
+type HAR struct {
+	Log HARLog `json:"log"`
+}
+
+// HARLog is the archive body.
+type HARLog struct {
+	Version string     `json:"version"`
+	Creator HARCreator `json:"creator"`
+	Entries []HAREntry `json:"entries"`
+}
+
+// HARCreator identifies the producing tool.
+type HARCreator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// HAREntry is one request/response pair.
+type HAREntry struct {
+	StartedDateTime string      `json:"startedDateTime"`
+	Time            float64     `json:"time"`
+	Request         HARRequest  `json:"request"`
+	Response        HARResponse `json:"response"`
+	Comment         string      `json:"comment,omitempty"`
+}
+
+// HARRequest is the request half.
+type HARRequest struct {
+	Method      string     `json:"method"`
+	URL         string     `json:"url"`
+	HTTPVersion string     `json:"httpVersion"`
+	Headers     []HARPair  `json:"headers"`
+	QueryString []HARPair  `json:"queryString"`
+	PostData    *HARPost   `json:"postData,omitempty"`
+	HeadersSize int        `json:"headersSize"`
+	BodySize    int        `json:"bodySize"`
+}
+
+// HARResponse is the response half.
+type HARResponse struct {
+	Status      int       `json:"status"`
+	StatusText  string    `json:"statusText"`
+	HTTPVersion string    `json:"httpVersion"`
+	Headers     []HARPair `json:"headers"`
+	HeadersSize int       `json:"headersSize"`
+	BodySize    int       `json:"bodySize"`
+}
+
+// HARPair is a name/value item.
+type HARPair struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// HARPost carries a request body.
+type HARPost struct {
+	MimeType string `json:"mimeType"`
+	Text     string `json:"text"`
+}
+
+// ToHAREntry converts a flow.
+func (f *Flow) ToHAREntry() HAREntry {
+	req := HARRequest{
+		Method:      f.Method,
+		URL:         f.URL(),
+		HTTPVersion: "HTTP/1.1",
+		HeadersSize: -1,
+		BodySize:    len(f.Body),
+	}
+	if f.Headers != nil {
+		for k, vs := range f.Headers {
+			for _, v := range vs {
+				req.Headers = append(req.Headers, HARPair{Name: k, Value: v})
+			}
+		}
+	}
+	if vals, err := url.ParseQuery(f.RawQuery); err == nil {
+		for k, vs := range vals {
+			for _, v := range vs {
+				req.QueryString = append(req.QueryString, HARPair{Name: k, Value: v})
+			}
+		}
+	}
+	if len(f.Body) > 0 {
+		req.PostData = &HARPost{MimeType: f.HeaderGet("Content-Type"), Text: string(f.Body)}
+	}
+
+	comment := fmt.Sprintf("origin=%s browser=%s", f.Origin, f.Browser)
+	if f.VisitURL != "" {
+		comment += " visit=" + f.VisitURL
+	}
+	if f.Err != "" {
+		comment += " err=" + f.Err
+	}
+	return HAREntry{
+		StartedDateTime: f.Time.Format(time.RFC3339Nano),
+		Time:            1, // per-exchange latency is not modelled
+		Request:         req,
+		Response: HARResponse{
+			Status: f.Status, StatusText: statusText(f.Status), HTTPVersion: "HTTP/1.1",
+			HeadersSize: -1, BodySize: f.RespBytes,
+		},
+		Comment: comment,
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 502:
+		return "Bad Gateway"
+	case 0:
+		return ""
+	}
+	return fmt.Sprintf("Status %d", code)
+}
+
+// WriteHAR exports the store as a HAR 1.2 document.
+func (s *Store) WriteHAR(w io.Writer) error {
+	har := HAR{Log: HARLog{
+		Version: "1.2",
+		Creator: HARCreator{Name: "panoptes", Version: "1.0"},
+	}}
+	for _, f := range s.All() {
+		har.Log.Entries = append(har.Log.Entries, f.ToHAREntry())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(har); err != nil {
+		return fmt.Errorf("capture: encode HAR: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package cdp implements the subset of the Chrome DevTools Protocol that
+// Panoptes uses to instrument browsers (paper §2.1, §2.3): JSON-RPC over
+// WebSocket, the Page domain (navigate + lifecycle events), the Network
+// domain (requestWillBeSent events), and the Fetch domain (requestPaused /
+// continueRequest), which is the mechanism that lets Panoptes taint every
+// web-engine request with a custom `x-` header before it leaves the app.
+//
+// Server is embedded in the browser emulators; Client is what the
+// measurement host speaks. Both sides are the real protocol shape, so the
+// instrumentation path is exercised end to end rather than short-circuited
+// by Go function calls.
+package cdp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"panoptes/internal/ws"
+)
+
+// Method names used by the Panoptes instrumentation.
+const (
+	MethodPageEnable      = "Page.enable"
+	MethodPageNavigate    = "Page.navigate"
+	MethodNetworkEnable   = "Network.enable"
+	MethodFetchEnable     = "Fetch.enable"
+	MethodFetchDisable    = "Fetch.disable"
+	MethodFetchContinue   = "Fetch.continueRequest"
+	MethodBrowserVersion  = "Browser.getVersion"
+	EventDOMContentFired  = "Page.domContentEventFired"
+	EventLoadFired        = "Page.loadEventFired"
+	EventRequestWillBeSent = "Network.requestWillBeSent"
+	EventRequestPaused    = "Fetch.requestPaused"
+)
+
+// message is the wire envelope: request, response or event.
+type message struct {
+	ID     int             `json:"id,omitempty"`
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+}
+
+// Error is a protocol-level error.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("cdp: remote error %d: %s", e.Code, e.Message) }
+
+// Parameter/result payloads.
+
+// NavigateParams is Page.navigate's input.
+type NavigateParams struct {
+	URL string `json:"url"`
+}
+
+// NavigateResult is Page.navigate's output.
+type NavigateResult struct {
+	FrameID string `json:"frameId"`
+	// LoadTimeMs is a simulation extension: the virtual milliseconds the
+	// page load consumed, so the orchestrator can advance the clock.
+	LoadTimeMs int64 `json:"loadTimeMs"`
+	// ErrorText is set when navigation failed (DNS, connection reset...).
+	ErrorText string `json:"errorText,omitempty"`
+}
+
+// HeaderEntry is one header in Fetch.continueRequest.
+type HeaderEntry struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// RequestPausedParams is the Fetch.requestPaused event payload.
+type RequestPausedParams struct {
+	RequestID string         `json:"requestId"`
+	Request   RequestPayload `json:"request"`
+}
+
+// RequestPayload describes the paused request.
+type RequestPayload struct {
+	URL     string            `json:"url"`
+	Method  string            `json:"method"`
+	Headers map[string]string `json:"headers"`
+}
+
+// ContinueParams is Fetch.continueRequest's input.
+type ContinueParams struct {
+	RequestID string        `json:"requestId"`
+	Headers   []HeaderEntry `json:"headers,omitempty"`
+}
+
+// RequestWillBeSentParams is the Network.requestWillBeSent payload.
+type RequestWillBeSentParams struct {
+	RequestID string         `json:"requestId"`
+	Request   RequestPayload `json:"request"`
+}
+
+// VersionResult is Browser.getVersion's output.
+type VersionResult struct {
+	Product  string `json:"product"`
+	Revision string `json:"revision"`
+}
+
+// HandlerFunc serves one method call.
+type HandlerFunc func(params json.RawMessage) (any, error)
+
+// Server is a CDP endpoint embedded in a browser app.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]HandlerFunc
+	conns    map[*ws.Conn]bool
+}
+
+// NewServer returns an empty server; register handlers before serving.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]HandlerFunc),
+		conns:    make(map[*ws.Conn]bool),
+	}
+}
+
+// Register binds a method to a handler. Later registrations replace
+// earlier ones.
+func (s *Server) Register(method string, fn HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// HTTPHandler returns the /devtools upgrade endpoint.
+func (s *Server) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := ws.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		s.serveConn(conn)
+	})
+}
+
+func (s *Server) serveConn(conn *ws.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		_, data, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		var msg message
+		if err := json.Unmarshal(data, &msg); err != nil || msg.Method == "" {
+			continue
+		}
+		// Dispatch concurrently: a blocking handler (Page.navigate waiting
+		// on Fetch interception) must not stall continueRequest delivery.
+		go s.dispatch(conn, msg)
+	}
+}
+
+func (s *Server) dispatch(conn *ws.Conn, msg message) {
+	s.mu.Lock()
+	fn, ok := s.handlers[msg.Method]
+	s.mu.Unlock()
+
+	resp := message{ID: msg.ID}
+	if !ok {
+		resp.Error = &Error{Code: -32601, Message: fmt.Sprintf("'%s' wasn't found", msg.Method)}
+	} else {
+		result, err := fn(msg.Params)
+		if err != nil {
+			resp.Error = &Error{Code: -32000, Message: err.Error()}
+		} else if result != nil {
+			raw, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = &Error{Code: -32603, Message: err.Error()}
+			} else {
+				resp.Result = raw
+			}
+		} else {
+			resp.Result = json.RawMessage(`{}`)
+		}
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	conn.WriteMessage(ws.OpText, out)
+}
+
+// Emit broadcasts an event to every connected client.
+func (s *Server) Emit(method string, params any) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return
+	}
+	out, err := json.Marshal(message{Method: method, Params: raw})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	conns := make([]*ws.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.WriteMessage(ws.OpText, out)
+	}
+}
+
+// HasClient reports whether a DevTools client is attached.
+func (s *Server) HasClient() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns) > 0
+}
+
+// Client is the measurement host's side of the protocol.
+type Client struct {
+	conn *ws.Conn
+
+	mu       sync.Mutex
+	nextID   int
+	pending  map[int]chan message
+	handlers map[string][]func(json.RawMessage)
+	closed   bool
+}
+
+// Dial connects to a browser's DevTools endpoint. dial opens the raw
+// transport (typically through the simulation's loopback, not the
+// firewalled network path).
+func Dial(wsURL string, dial func(addr string) (net.Conn, error)) (*Client, error) {
+	conn, err := ws.Dial(wsURL, dial)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		pending:  make(map[int]chan message),
+		handlers: make(map[string][]func(json.RawMessage)),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		_, data, err := c.conn.ReadMessage()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		var msg message
+		if err := json.Unmarshal(data, &msg); err != nil {
+			continue
+		}
+		if msg.Method != "" { // event
+			c.mu.Lock()
+			var fns []func(json.RawMessage)
+			fns = append(fns, c.handlers[msg.Method]...)
+			c.mu.Unlock()
+			for _, fn := range fns {
+				fn(msg.Params)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.ID]
+		if ok {
+			delete(c.pending, msg.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// On subscribes fn to an event. Handlers run on the read-loop goroutine;
+// they must not block on protocol calls that need the read loop (use a
+// goroutine inside if they do).
+func (c *Client) On(method string, fn func(params json.RawMessage)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[method] = append(c.handlers[method], fn)
+}
+
+// Call invokes a method and decodes the result into result (which may be
+// nil to discard it).
+func (c *Client) Call(method string, params, result any) error {
+	return c.CallTimeout(method, params, result, 30*time.Second)
+}
+
+// CallTimeout is Call with an explicit wall-clock timeout.
+func (c *Client) CallTimeout(method string, params, result any, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ws.ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("cdp: marshal params: %w", err)
+		}
+		raw = b
+	}
+	out, err := json.Marshal(message{ID: id, Method: method, Params: raw})
+	if err != nil {
+		return fmt.Errorf("cdp: marshal request: %w", err)
+	}
+	if err := c.conn.WriteMessage(ws.OpText, out); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("cdp: send %s: %w", method, err)
+	}
+
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return ws.ErrClosed
+		}
+		if msg.Error != nil {
+			return msg.Error
+		}
+		if result != nil && len(msg.Result) > 0 {
+			if err := json.Unmarshal(msg.Result, result); err != nil {
+				return fmt.Errorf("cdp: decode %s result: %w", method, err)
+			}
+		}
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("cdp: %s timed out after %v", method, timeout)
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// ErrNoInterceptor is returned by interception helpers when Fetch.enable
+// was not called.
+var ErrNoInterceptor = errors.New("cdp: fetch interception not enabled")

@@ -1,0 +1,258 @@
+package cdp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"panoptes/internal/netsim"
+)
+
+// testRig hosts a CDP server on the virtual internet and returns a
+// connected client plus the server.
+func testRig(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	inet := netsim.New()
+	l, _, err := inet.ListenDomain("browser.local", "US", 9222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	httpSrv := &http.Server{Handler: srv.HTTPHandler()}
+	go httpSrv.Serve(l)
+	t.Cleanup(func() { httpSrv.Close() })
+
+	client, err := Dial("ws://browser.local:9222/devtools", func(addr string) (net.Conn, error) {
+		return inet.Dial(context.Background(), addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, srv
+}
+
+func TestCallAndResult(t *testing.T) {
+	client, srv := testRig(t)
+	srv.Register(MethodBrowserVersion, func(json.RawMessage) (any, error) {
+		return VersionResult{Product: "Chrome/113.0.5672.77", Revision: "sim"}, nil
+	})
+	var v VersionResult
+	if err := client.Call(MethodBrowserVersion, nil, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Product != "Chrome/113.0.5672.77" {
+		t.Fatalf("product = %q", v.Product)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	client, _ := testRig(t)
+	err := client.Call("Bogus.method", nil, nil)
+	var cdpErr *Error
+	if !errors.As(err, &cdpErr) || cdpErr.Code != -32601 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	client, srv := testRig(t)
+	srv.Register("Page.navigate", func(json.RawMessage) (any, error) {
+		return nil, fmt.Errorf("net::ERR_NAME_NOT_RESOLVED")
+	})
+	err := client.Call("Page.navigate", NavigateParams{URL: "https://ghost.example/"}, nil)
+	var cdpErr *Error
+	if !errors.As(err, &cdpErr) || cdpErr.Message != "net::ERR_NAME_NOT_RESOLVED" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParamsDecodeOnServer(t *testing.T) {
+	client, srv := testRig(t)
+	srv.Register(MethodPageNavigate, func(raw json.RawMessage) (any, error) {
+		var p NavigateParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		return NavigateResult{FrameID: "frame-1", LoadTimeMs: 1200, ErrorText: ""}, nil
+	})
+	var res NavigateResult
+	if err := client.Call(MethodPageNavigate, NavigateParams{URL: "https://example.com/"}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameID != "frame-1" || res.LoadTimeMs != 1200 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	client, srv := testRig(t)
+	got := make(chan string, 4)
+	client.On(EventDOMContentFired, func(params json.RawMessage) {
+		got <- string(params)
+	})
+	// Give the subscription a moment, then emit.
+	srv.Register("Page.enable", func(json.RawMessage) (any, error) { return nil, nil })
+	if err := client.Call("Page.enable", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Emit(EventDOMContentFired, map[string]any{"timestamp": 1.5})
+	select {
+	case p := <-got:
+		if p != `{"timestamp":1.5}` {
+			t.Fatalf("params = %s", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	client, srv := testRig(t)
+	srv.Register("Echo.id", func(raw json.RawMessage) (any, error) {
+		var p struct {
+			N int `json:"n"`
+		}
+		json.Unmarshal(raw, &p)
+		return map[string]int{"n": p.N}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res struct {
+				N int `json:"n"`
+			}
+			if err := client.Call("Echo.id", map[string]int{"n": i}, &res); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if res.N != i {
+				t.Errorf("call %d got %d", i, res.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestFetchInterceptionRoundTrip exercises the taint-injection control
+// path: a blocking "navigate" handler waits for the client to continue a
+// paused request with an extra header, which must not deadlock the
+// protocol.
+func TestFetchInterceptionRoundTrip(t *testing.T) {
+	client, srv := testRig(t)
+
+	type pausedReq struct {
+		id      string
+		headers chan []HeaderEntry
+	}
+	var pendingMu sync.Mutex
+	pending := map[string]*pausedReq{}
+
+	srv.Register(MethodFetchEnable, func(json.RawMessage) (any, error) { return nil, nil })
+	srv.Register(MethodFetchContinue, func(raw json.RawMessage) (any, error) {
+		var p ContinueParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		pendingMu.Lock()
+		pr, ok := pending[p.RequestID]
+		pendingMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("unknown request %s", p.RequestID)
+		}
+		pr.headers <- p.Headers
+		return nil, nil
+	})
+	// The "engine": emits requestPaused and blocks until continued.
+	srv.Register(MethodPageNavigate, func(json.RawMessage) (any, error) {
+		pr := &pausedReq{id: "req-1", headers: make(chan []HeaderEntry, 1)}
+		pendingMu.Lock()
+		pending[pr.id] = pr
+		pendingMu.Unlock()
+		srv.Emit(EventRequestPaused, RequestPausedParams{
+			RequestID: pr.id,
+			Request: RequestPayload{
+				URL: "https://example.com/", Method: "GET",
+				Headers: map[string]string{"User-Agent": "sim"},
+			},
+		})
+		select {
+		case hs := <-pr.headers:
+			for _, h := range hs {
+				if h.Name == "x-panoptes-taint" {
+					return NavigateResult{FrameID: "f", LoadTimeMs: 10}, nil
+				}
+			}
+			return nil, fmt.Errorf("taint header missing")
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("interception timed out")
+		}
+	})
+
+	if err := client.Call(MethodFetchEnable, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	client.On(EventRequestPaused, func(raw json.RawMessage) {
+		var p RequestPausedParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			t.Error(err)
+			return
+		}
+		headers := []HeaderEntry{{Name: "x-panoptes-taint", Value: "1"}}
+		for k, v := range p.Request.Headers {
+			headers = append(headers, HeaderEntry{Name: k, Value: v})
+		}
+		// Continue from a fresh goroutine: On handlers run on the read
+		// loop, and continueRequest needs the read loop for its response.
+		go func() {
+			if err := client.Call(MethodFetchContinue, ContinueParams{
+				RequestID: p.RequestID, Headers: headers,
+			}, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	})
+
+	var res NavigateResult
+	if err := client.CallTimeout(MethodPageNavigate, NavigateParams{URL: "https://example.com/"}, &res, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameID != "f" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	client, _ := testRig(t)
+	client.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := client.Call("Browser.getVersion", nil, nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestServerHasClient(t *testing.T) {
+	client, srv := testRig(t)
+	srv.Register("X.ping", func(json.RawMessage) (any, error) { return nil, nil })
+	if err := client.Call("X.ping", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.HasClient() {
+		t.Fatal("HasClient false with live client")
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	e := &Error{Code: -32000, Message: "boom"}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"panoptes/internal/browser"
+	"panoptes/internal/cdp"
+	"panoptes/internal/frida"
+	"panoptes/internal/profiles"
+	"panoptes/internal/taint"
+	"panoptes/internal/websim"
+)
+
+// CampaignConfig selects what a crawl visits and how.
+type CampaignConfig struct {
+	// Browsers are profile names; nil means every browser in the world.
+	Browsers []string
+	// Sites to visit; nil means the world's full dataset.
+	Sites []*websim.Site
+	// Incognito crawls in private mode (browsers without one are
+	// skipped, as the paper's footnote 5 notes for Yandex and QQ).
+	Incognito bool
+	// SkipReset keeps app data across the campaign (used by the
+	// persistent-identifier experiment).
+	SkipReset bool
+	// Settle is the post-DOMContentLoaded wait (paper: 5 s).
+	Settle time.Duration
+	// NavigateTimeout is the page-load ceiling (paper: 60 s, wall clock
+	// on the CDP channel).
+	NavigateTimeout time.Duration
+}
+
+func (c *CampaignConfig) defaults(w *World) {
+	if c.Browsers == nil {
+		for _, p := range profiles.All() {
+			if _, ok := w.Browsers[p.Name]; ok {
+				c.Browsers = append(c.Browsers, p.Name)
+			}
+		}
+	}
+	if c.Sites == nil {
+		c.Sites = w.Sites
+	}
+	if c.Settle <= 0 {
+		c.Settle = 5 * time.Second
+	}
+	if c.NavigateTimeout <= 0 {
+		c.NavigateTimeout = 60 * time.Second
+	}
+}
+
+// VisitRecord is one page visit's outcome.
+type VisitRecord struct {
+	Browser    string
+	URL        string
+	LoadTimeMs int64
+	Err        string
+}
+
+// CampaignResult summarises a crawl.
+type CampaignResult struct {
+	Visits  []VisitRecord
+	Skipped []string // browsers skipped (e.g. no incognito mode)
+	Errors  int
+}
+
+// RunCampaign reproduces §2.1's crawl procedure per browser: reset to
+// factory settings via Appium, launch, click through the setup wizard,
+// divert the browser's UID into the proxy, instrument (CDP or Frida) so
+// every engine request is tainted, visit each site (waiting
+// DOMContentLoaded plus the settle period on the virtual clock), then
+// tear down.
+func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	cfg.defaults(w)
+	result := &CampaignResult{}
+
+	for _, name := range cfg.Browsers {
+		b, err := w.Browser(name)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Incognito && !b.Profile.HasIncognito {
+			result.Skipped = append(result.Skipped, name)
+			continue
+		}
+		if err := w.crawlBrowser(b, cfg, result); err != nil {
+			return result, fmt.Errorf("core: campaign on %s: %w", name, err)
+		}
+	}
+	return result, nil
+}
+
+// crawlBrowser runs one browser's full crawl.
+func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, result *CampaignResult) error {
+	sess, err := w.AppiumClient.NewSession(b.Pkg.Name)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	if !cfg.SkipReset {
+		if err := sess.Reset(); err != nil {
+			return fmt.Errorf("appium reset: %w", err)
+		}
+	} else if b.Running() {
+		b.Stop()
+	}
+	if err := sess.Launch(); err != nil {
+		return fmt.Errorf("appium launch: %w", err)
+	}
+	defer sess.Terminate()
+	if err := sess.CompleteWizard(); err != nil {
+		return fmt.Errorf("setup wizard: %w", err)
+	}
+
+	// Divert the browser's kernel UID into the transparent proxy.
+	if !w.Device.DiversionActive(b.UID()) {
+		if err := w.Device.DivertBrowser(b.UID(), ProxyAddr); err != nil {
+			return fmt.Errorf("iptables diversion: %w", err)
+		}
+	}
+
+	if cfg.Incognito {
+		if err := b.SetIncognito(true); err != nil {
+			return err
+		}
+		defer b.SetIncognito(false)
+	}
+
+	navigate, teardown, err := w.instrument(b)
+	if err != nil {
+		return fmt.Errorf("instrumentation: %w", err)
+	}
+	defer teardown()
+
+	for _, site := range cfg.Sites {
+		url := site.URL()
+		w.Visits.BeginVisit(b.UID(), url, cfg.Incognito)
+		loadMs, navErr := navigate(url, cfg.NavigateTimeout)
+		rec := VisitRecord{Browser: b.Profile.Name, URL: url, LoadTimeMs: loadMs}
+		if navErr != nil {
+			rec.Err = navErr.Error()
+			result.Errors++
+		}
+		// DOMContentLoaded (modelled load time) plus the settle window,
+		// on the virtual clock — §2.1's wait discipline.
+		w.Clock.Advance(time.Duration(loadMs)*time.Millisecond + cfg.Settle)
+		w.Visits.EndVisit(b.UID())
+		result.Visits = append(result.Visits, rec)
+	}
+	return nil
+}
+
+// navigateFunc drives one page visit and returns the modelled load time.
+type navigateFunc func(url string, timeout time.Duration) (int64, error)
+
+// instrument attaches the taint-injection instrumentation: CDP Fetch
+// interception for CDP browsers, a Frida request hook for the rest.
+// It returns the navigation driver and a teardown.
+func (w *World) instrument(b *browser.Browser) (navigateFunc, func(), error) {
+	switch b.Profile.Instrumentation {
+	case profiles.InstrumentCDP:
+		return w.instrumentCDP(b)
+	case profiles.InstrumentFrida:
+		return w.instrumentFrida(b)
+	}
+	return nil, nil, fmt.Errorf("unknown instrumentation %q", b.Profile.Instrumentation)
+}
+
+func (w *World) instrumentCDP(b *browser.Browser) (navigateFunc, func(), error) {
+	wsURL := b.DevToolsURL()
+	client, err := cdp.Dial(wsURL, func(addr string) (net.Conn, error) {
+		return w.Inet.Dial(context.Background(), addr)
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cdp dial %s: %w", wsURL, err)
+	}
+	for _, m := range []string{cdp.MethodPageEnable, cdp.MethodNetworkEnable, cdp.MethodFetchEnable} {
+		if err := client.Call(m, nil, nil); err != nil {
+			client.Close()
+			return nil, nil, fmt.Errorf("%s: %w", m, err)
+		}
+	}
+	// The taint injector: every paused engine request is continued with
+	// the campaign token added (§2.3).
+	client.On(cdp.EventRequestPaused, func(raw json.RawMessage) {
+		var p cdp.RequestPausedParams
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return
+		}
+		headers := taint.InjectCDP(p.Request.Headers, w.Token)
+		go client.Call(cdp.MethodFetchContinue, cdp.ContinueParams{
+			RequestID: p.RequestID, Headers: headers,
+		}, nil)
+	})
+
+	nav := func(url string, timeout time.Duration) (int64, error) {
+		var res cdp.NavigateResult
+		if err := client.CallTimeout(cdp.MethodPageNavigate, cdp.NavigateParams{URL: url}, &res, timeout); err != nil {
+			return 0, err
+		}
+		if res.ErrorText != "" {
+			return res.LoadTimeMs, fmt.Errorf("navigation: %s", res.ErrorText)
+		}
+		return res.LoadTimeMs, nil
+	}
+	teardown := func() {
+		client.Call(cdp.MethodFetchDisable, nil, nil)
+		client.Close()
+	}
+	return nav, teardown, nil
+}
+
+func (w *World) instrumentFrida(b *browser.Browser) (navigateFunc, func(), error) {
+	sess, err := frida.Attach(w.FridaDev, b.Pkg.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	token := w.Token
+	if err := sess.InterceptRequests(func(req *http.Request) error {
+		taint.Inject(req.Header, token)
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	nav := func(url string, timeout time.Duration) (int64, error) {
+		return sess.CallLoadURL(url)
+	}
+	return nav, sess.Detach, nil
+}

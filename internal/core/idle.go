@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"panoptes/internal/capture"
+)
+
+// IdleResult is one browser's idle phone-home record (§3.5 / Figure 5).
+type IdleResult struct {
+	Browser string
+	Start   time.Time
+	End     time.Time
+	// Flows are the native flows captured during the idle window, in
+	// order; Figure 5 bins their timestamps.
+	Flows []*capture.Flow
+}
+
+// RunIdle reproduces §3.5: launch the browser, leave it at the start
+// page with no interaction for the given duration of virtual time while
+// its traffic is diverted, and collect the native requests it makes.
+func (w *World) RunIdle(browserName string, duration time.Duration) (*IdleResult, error) {
+	b, err := w.Browser(browserName)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := w.AppiumClient.NewSession(b.Pkg.Name)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	if err := sess.Reset(); err != nil {
+		return nil, fmt.Errorf("core: idle reset: %w", err)
+	}
+	if !w.Device.DiversionActive(b.UID()) {
+		if err := w.Device.DivertBrowser(b.UID(), ProxyAddr); err != nil {
+			return nil, err
+		}
+	}
+	if err := sess.Launch(); err != nil {
+		return nil, fmt.Errorf("core: idle launch: %w", err)
+	}
+	defer sess.Terminate()
+	// The wizard still has to be clicked through before the start page
+	// shows; no navigation follows.
+	if err := sess.CompleteWizard(); err != nil {
+		return nil, err
+	}
+
+	start := w.Clock.Now()
+	w.Clock.Advance(duration)
+	end := w.Clock.Now()
+
+	uid := b.UID()
+	flows := w.DB.Native.Filter(func(f *capture.Flow) bool {
+		return f.BrowserUID == uid && !f.Time.Before(start) && !f.Time.After(end)
+	})
+	return &IdleResult{Browser: browserName, Start: start, End: end, Flows: flows}, nil
+}
+
+// RunIdleAll runs the idle experiment for every browser in the world.
+func (w *World) RunIdleAll(duration time.Duration) (map[string]*IdleResult, error) {
+	out := make(map[string]*IdleResult, len(w.Browsers))
+	for name := range w.Browsers {
+		r, err := w.RunIdle(name, duration)
+		if err != nil {
+			return out, err
+		}
+		out[name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,459 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	b, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0xBEEF, "www.example.com", TypeA)
+	got := roundTrip(t, q)
+	if got.Header.ID != 0xBEEF || got.Header.Response || !got.Header.RecursionDesired {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com" || got.Questions[0].Type != TypeA {
+		t.Fatalf("question = %+v", got.Questions[0])
+	}
+}
+
+func TestARecordRoundTrip(t *testing.T) {
+	q := NewQuery(7, "a.example", TypeA)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = append(resp.Answers, Resource{
+		Name: "a.example", Type: TypeA, Class: ClassIN, TTL: 300,
+		A: net.IPv4(20, 0, 1, 2),
+	})
+	got := roundTrip(t, resp)
+	if len(got.Answers) != 1 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	a := got.Answers[0]
+	if !a.A.Equal(net.IPv4(20, 0, 1, 2)) || a.TTL != 300 || a.Type != TypeA {
+		t.Fatalf("answer = %+v", a)
+	}
+	if !got.Header.Response || !got.Header.Authoritative {
+		t.Fatalf("header = %+v", got.Header)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	ip := net.ParseIP("2001:db8::1")
+	m := &Message{Header: Header{ID: 9, Response: true}}
+	m.Answers = append(m.Answers, Resource{Name: "v6.example", Type: TypeAAAA, Class: ClassIN, TTL: 60, A: ip})
+	got := roundTrip(t, m)
+	if !got.Answers[0].A.Equal(ip) {
+		t.Fatalf("AAAA = %v", got.Answers[0].A)
+	}
+}
+
+func TestCNAMEAndNS(t *testing.T) {
+	m := &Message{Header: Header{ID: 1, Response: true}}
+	m.Answers = append(m.Answers,
+		Resource{Name: "alias.example", Type: TypeCNAME, Class: ClassIN, TTL: 10, Name2: "canonical.example"},
+	)
+	m.Authorities = append(m.Authorities,
+		Resource{Name: "example", Type: TypeNS, Class: ClassIN, TTL: 10, Name2: "ns1.example"},
+	)
+	got := roundTrip(t, m)
+	if got.Answers[0].Name2 != "canonical.example" {
+		t.Fatalf("CNAME = %q", got.Answers[0].Name2)
+	}
+	if got.Authorities[0].Name2 != "ns1.example" {
+		t.Fatalf("NS = %q", got.Authorities[0].Name2)
+	}
+}
+
+func TestTXTRoundTrip(t *testing.T) {
+	m := &Message{Header: Header{ID: 2, Response: true}}
+	m.Answers = append(m.Answers, Resource{
+		Name: "txt.example", Type: TypeTXT, Class: ClassIN, TTL: 5,
+		TXT: []string{"v=spf1 -all", "second string"},
+	})
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Answers[0].TXT, []string{"v=spf1 -all", "second string"}) {
+		t.Fatalf("TXT = %v", got.Answers[0].TXT)
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	m := &Message{Header: Header{ID: 3, Response: true}}
+	m.Answers = append(m.Answers, Resource{
+		Name: "example", Type: TypeSOA, Class: ClassIN, TTL: 900,
+		SOA: &SOAData{MName: "ns1.example", RName: "hostmaster.example",
+			Serial: 2023051201, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 86400},
+	})
+	got := roundTrip(t, m)
+	soa := got.Answers[0].SOA
+	if soa == nil || soa.Serial != 2023051201 || soa.MName != "ns1.example" || soa.Minimum != 86400 {
+		t.Fatalf("SOA = %+v", soa)
+	}
+}
+
+func TestNXDomainResponse(t *testing.T) {
+	q := NewQuery(4, "missing.example", TypeA)
+	resp := NewResponse(q, RCodeNXDomain)
+	got := roundTrip(t, resp)
+	if got.Header.RCode != RCodeNXDomain {
+		t.Fatalf("rcode = %v", got.Header.RCode)
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	q := NewQuery(5, ".", TypeNS)
+	got := roundTrip(t, q)
+	if got.Questions[0].Name != "." {
+		t.Fatalf("root name = %q", got.Questions[0].Name)
+	}
+}
+
+func TestCompressionPointerDecoding(t *testing.T) {
+	// Hand-build a message whose answer name is a pointer to the question
+	// name, the classic RFC 1035 layout real servers emit.
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 0x1234) // ID
+	b = binary.BigEndian.AppendUint16(b, 0x8180) // response, RD, RA
+	b = binary.BigEndian.AppendUint16(b, 1)      // QD
+	b = binary.BigEndian.AppendUint16(b, 1)      // AN
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	// Question: example.com A IN at offset 12.
+	b = append(b, 7)
+	b = append(b, "example"...)
+	b = append(b, 3)
+	b = append(b, "com"...)
+	b = append(b, 0)
+	b = binary.BigEndian.AppendUint16(b, uint16(TypeA))
+	b = binary.BigEndian.AppendUint16(b, uint16(ClassIN))
+	// Answer: pointer to offset 12.
+	b = append(b, 0xC0, 12)
+	b = binary.BigEndian.AppendUint16(b, uint16(TypeA))
+	b = binary.BigEndian.AppendUint16(b, uint16(ClassIN))
+	b = binary.BigEndian.AppendUint32(b, 60)
+	b = binary.BigEndian.AppendUint16(b, 4)
+	b = append(b, 93, 184, 216, 34)
+
+	m, err := Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "example.com" {
+		t.Fatalf("decompressed name = %q", m.Answers[0].Name)
+	}
+	if !m.Answers[0].A.Equal(net.IPv4(93, 184, 216, 34)) {
+		t.Fatalf("A = %v", m.Answers[0].A)
+	}
+}
+
+func TestForwardPointerRejected(t *testing.T) {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = append(b, 0xC0, 200) // pointer beyond itself
+	b = append(b, 0, 1, 0, 1)
+	if _, err := Unpack(b); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	// Offset 12 points at itself via a pair of pointers.
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 2)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = append(b, 0xC0, 14) // question 1 name: pointer to offset 14
+	b = append(b, 0xC0, 12) // offset 14: pointer back to 12
+	b = append(b, 0, 1, 0, 1)
+	if _, err := Unpack(b); err == nil {
+		t.Fatal("pointer loop accepted")
+	}
+}
+
+func TestTruncatedMessages(t *testing.T) {
+	q := NewQuery(6, "www.example.com", TypeA)
+	full, _ := q.Pack()
+	for i := 0; i < len(full); i++ {
+		if _, err := Unpack(full[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestTrailingDataRejected(t *testing.T) {
+	q := NewQuery(6, "example.com", TypeA)
+	b, _ := q.Pack()
+	if _, err := Unpack(append(b, 0xFF)); err != ErrTrailingData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLabelTooLong(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".example"
+	q := NewQuery(1, long, TypeA)
+	if _, err := q.Pack(); err != ErrLabelTooLong {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	parts := make([]string, 40)
+	for i := range parts {
+		parts[i] = "abcdefgh"
+	}
+	q := NewQuery(1, strings.Join(parts, "."), TypeA)
+	if _, err := q.Pack(); err != ErrNameTooLong {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownRRTypeSkipped(t *testing.T) {
+	// Build a response containing an OPT-like record (type 41).
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0x8000)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = append(b, 0) // root name
+	b = binary.BigEndian.AppendUint16(b, 41)
+	b = binary.BigEndian.AppendUint16(b, 4096)
+	b = binary.BigEndian.AppendUint32(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 3)
+	b = append(b, 1, 2, 3)
+	m, err := Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Type != 41 {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{TypeA: "A", TypeAAAA: "AAAA", TypeCNAME: "CNAME",
+		TypeTXT: "TXT", TypeNS: "NS", TypeSOA: "SOA", Type(99): "TYPE99"}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestPackedQueryMatchesKnownBytes(t *testing.T) {
+	q := NewQuery(0x0001, "a.b", TypeA)
+	b, _ := q.Pack()
+	want := []byte{
+		0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		1, 'a', 1, 'b', 0,
+		0x00, 0x01, 0x00, 0x01,
+	}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("packed = %x, want %x", b, want)
+	}
+}
+
+// Property: any well-formed name round-trips through pack/unpack.
+func TestPropertyNameRoundTrip(t *testing.T) {
+	f := func(labels []uint8) bool {
+		if len(labels) == 0 || len(labels) > 4 {
+			return true
+		}
+		parts := make([]string, 0, len(labels))
+		for _, l := range labels {
+			n := int(l)%20 + 1
+			parts = append(parts, strings.Repeat("x", n))
+		}
+		name := strings.Join(parts, ".")
+		q := NewQuery(1, name, TypeA)
+		b, err := q.Pack()
+		if err != nil {
+			return false
+		}
+		m, err := Unpack(b)
+		if err != nil {
+			return false
+		}
+		return m.Questions[0].Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fuzz-ish — Unpack never panics on arbitrary bytes.
+func TestPropertyUnpackNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %x: %v", data, r)
+			}
+		}()
+		Unpack(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: header flags survive a round trip.
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(id uint16, resp, aa, tc, rd, ra bool, rcode uint8) bool {
+		m := &Message{Header: Header{
+			ID: id, Response: resp, Authoritative: aa, Truncated: tc,
+			RecursionDesired: rd, RecursionAvailable: ra, RCode: RCode(rcode & 0xF),
+		}}
+		b, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(b)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPackUnpackA(b *testing.B) {
+	q := NewQuery(1, "www.example.com", TypeA)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = append(resp.Answers, Resource{
+		Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300, A: net.IPv4(20, 0, 0, 1),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := resp.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unpack(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressionOnEncode(t *testing.T) {
+	// A response whose answer owner repeats the question name must emit a
+	// pointer, shrinking the message.
+	q := NewQuery(9, "www.example.com", TypeA)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = append(resp.Answers, Resource{
+		Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 60, A: net.IPv4(1, 2, 3, 4),
+	})
+	packed, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncompressed, the name would appear twice (17 bytes each); with a
+	// pointer the second occurrence is 2 bytes.
+	wantMax := 12 + (17 + 4) + (2 + 10 + 4)
+	if len(packed) > wantMax {
+		t.Fatalf("packed %d bytes, want <= %d (compression missing)", len(packed), wantMax)
+	}
+	// And it still round-trips.
+	m, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "www.example.com" || !m.Answers[0].A.Equal(net.IPv4(1, 2, 3, 4)) {
+		t.Fatalf("answer = %+v", m.Answers[0])
+	}
+}
+
+func TestCompressionSharedSuffix(t *testing.T) {
+	// a.example.com then b.example.com: the second name compresses its
+	// example.com suffix.
+	m := &Message{Header: Header{ID: 1, Response: true}}
+	m.Answers = append(m.Answers,
+		Resource{Name: "a.example.com", Type: TypeA, Class: ClassIN, TTL: 1, A: net.IPv4(1, 1, 1, 1)},
+		Resource{Name: "b.example.com", Type: TypeA, Class: ClassIN, TTL: 1, A: net.IPv4(2, 2, 2, 2)},
+	)
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "a.example.com" || got.Answers[1].Name != "b.example.com" {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	// Compressed form beats two full names.
+	uncompressed := 12 + 2*(15+10+4)
+	if len(packed) >= uncompressed {
+		t.Fatalf("no shrink: %d >= %d", len(packed), uncompressed)
+	}
+}
+
+// Property: compression never breaks the round trip for multi-record
+// messages with overlapping names.
+func TestPropertyCompressionRoundTrip(t *testing.T) {
+	f := func(labels []uint8) bool {
+		if len(labels) == 0 || len(labels) > 6 {
+			return true
+		}
+		m := &Message{Header: Header{ID: 7, Response: true}}
+		var names []string
+		for i, l := range labels {
+			name := strings.Repeat(string(rune('a'+int(l)%26)), int(l)%10+1) + ".shared.example"
+			if i%2 == 0 {
+				name = "deep." + name
+			}
+			names = append(names, name)
+			m.Answers = append(m.Answers, Resource{
+				Name: name, Type: TypeA, Class: ClassIN, TTL: 1, A: net.IPv4(9, 9, byte(i), 9),
+			})
+		}
+		packed, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(packed)
+		if err != nil || len(got.Answers) != len(names) {
+			return false
+		}
+		for i, n := range names {
+			if got.Answers[i].Name != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

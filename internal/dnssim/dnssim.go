@@ -1,0 +1,175 @@
+// Package dnssim provides DNS-over-HTTPS endpoints and clients in the
+// style of RFC 8484. The paper (§3.2) finds that 8 of 15 browsers query
+// Cloudflare's or Google's DoH services for every visited domain — i.e.
+// the visited hostnames leave the device inside HTTPS bodies — while the
+// other 7 use the device's local stub resolver. The vendorsim package
+// hosts Handler at cloudflare-dns.com and dns.google; browsers that use
+// DoH carry a Client.
+package dnssim
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"panoptes/internal/dnsmsg"
+)
+
+// ContentType is the RFC 8484 media type.
+const ContentType = "application/dns-message"
+
+// Resolver answers name lookups; the virtual internet implements it.
+type Resolver interface {
+	LookupHost(host string) (net.IP, error)
+}
+
+// Handler is an RFC 8484 DoH endpoint backed by a Resolver. It supports
+// POST with a raw DNS message body and GET with the base64url `dns`
+// parameter, and it logs the names queried (the quantity that constitutes
+// the privacy leak).
+type Handler struct {
+	resolver Resolver
+
+	mu      sync.Mutex
+	queried []string
+}
+
+// NewHandler creates a DoH handler.
+func NewHandler(r Resolver) *Handler {
+	return &Handler{resolver: r}
+}
+
+// QueriedNames returns every name this endpoint has been asked about, in
+// order.
+func (h *Handler) QueriedNames() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.queried))
+	copy(out, h.queried)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var raw []byte
+	var err error
+	switch r.Method {
+	case http.MethodPost:
+		if ct := r.Header.Get("Content-Type"); ct != ContentType {
+			http.Error(w, "unsupported media type", http.StatusUnsupportedMediaType)
+			return
+		}
+		raw, err = io.ReadAll(io.LimitReader(r.Body, 64*1024))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+	case http.MethodGet:
+		enc := r.URL.Query().Get("dns")
+		if enc == "" {
+			http.Error(w, "missing dns parameter", http.StatusBadRequest)
+			return
+		}
+		raw, err = base64.RawURLEncoding.DecodeString(enc)
+		if err != nil {
+			http.Error(w, "bad dns parameter", http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	q, err := dnsmsg.Unpack(raw)
+	if err != nil {
+		http.Error(w, "malformed dns message", http.StatusBadRequest)
+		return
+	}
+	resp := dnsmsg.NewResponse(q, dnsmsg.RCodeSuccess)
+	for _, question := range q.Questions {
+		h.mu.Lock()
+		h.queried = append(h.queried, question.Name)
+		h.mu.Unlock()
+		if question.Type != dnsmsg.TypeA {
+			continue
+		}
+		ip, err := h.resolver.LookupHost(question.Name)
+		if err != nil {
+			resp.Header.RCode = dnsmsg.RCodeNXDomain
+			continue
+		}
+		resp.Answers = append(resp.Answers, dnsmsg.Resource{
+			Name: question.Name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300, A: ip,
+		})
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		http.Error(w, "pack error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+// Client resolves names through a DoH endpoint over a provided
+// *http.Client (whose transport dials the virtual internet, through the
+// device network stack, so DoH queries show up as browser HTTPS traffic).
+type Client struct {
+	// Endpoint is the DoH URL, e.g. "https://cloudflare-dns.com/dns-query".
+	Endpoint string
+	// HTTP performs the transport; it must be non-nil.
+	HTTP *http.Client
+
+	mu     sync.Mutex
+	nextID uint16
+}
+
+// Lookup resolves an A record via DoH POST.
+func (c *Client) Lookup(name string) (net.IP, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	q := dnsmsg.NewQuery(id, name, dnsmsg.TypeA)
+	raw, err := q.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: pack query: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Endpoint, bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", ContentType)
+	req.Header.Set("Accept", ContentType)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: doh exchange: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dnssim: doh status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: read response: %w", err)
+	}
+	m, err := dnsmsg.Unpack(body)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: parse response: %w", err)
+	}
+	if m.Header.RCode != dnsmsg.RCodeSuccess {
+		return nil, fmt.Errorf("dnssim: rcode %d for %s", m.Header.RCode, name)
+	}
+	for _, a := range m.Answers {
+		if a.Type == dnsmsg.TypeA {
+			return a.A, nil
+		}
+	}
+	return nil, fmt.Errorf("dnssim: no A record for %s", name)
+}

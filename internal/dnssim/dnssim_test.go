@@ -1,0 +1,165 @@
+package dnssim
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"panoptes/internal/dnsmsg"
+	"panoptes/internal/netsim"
+)
+
+type mapResolver map[string]net.IP
+
+func (m mapResolver) LookupHost(host string) (net.IP, error) {
+	if ip, ok := m[host]; ok {
+		return ip, nil
+	}
+	return nil, &netsim.ErrNoSuchHost{Host: host}
+}
+
+func packQuery(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := dnsmsg.NewQuery(7, name, dnsmsg.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestHandlerPOST(t *testing.T) {
+	h := NewHandler(mapResolver{"site.example": net.IPv4(20, 0, 0, 5)})
+	req := httptest.NewRequest(http.MethodPost, "https://dns.google/dns-query",
+		bytes.NewReader(packQuery(t, "site.example")))
+	req.Header.Set("Content-Type", ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	m, err := dnsmsg.Unpack(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || !m.Answers[0].A.Equal(net.IPv4(20, 0, 0, 5)) {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+	names := h.QueriedNames()
+	if len(names) != 1 || names[0] != "site.example" {
+		t.Fatalf("logged names = %v", names)
+	}
+}
+
+func TestHandlerGET(t *testing.T) {
+	h := NewHandler(mapResolver{"g.example": net.IPv4(20, 0, 0, 9)})
+	enc := base64.RawURLEncoding.EncodeToString(packQuery(t, "g.example"))
+	req := httptest.NewRequest(http.MethodGet, "https://dns.google/dns-query?dns="+enc, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	m, _ := dnsmsg.Unpack(rec.Body.Bytes())
+	if len(m.Answers) != 1 {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+}
+
+func TestHandlerNXDomain(t *testing.T) {
+	h := NewHandler(mapResolver{})
+	req := httptest.NewRequest(http.MethodPost, "https://doh/dns-query",
+		bytes.NewReader(packQuery(t, "missing.example")))
+	req.Header.Set("Content-Type", ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	m, err := dnsmsg.Unpack(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Fatalf("rcode = %v", m.Header.RCode)
+	}
+}
+
+func TestHandlerRejections(t *testing.T) {
+	h := NewHandler(mapResolver{})
+	// Wrong content type.
+	req := httptest.NewRequest(http.MethodPost, "https://doh/dns-query", bytes.NewReader([]byte("x")))
+	req.Header.Set("Content-Type", "text/plain")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("wrong-ct status = %d", rec.Code)
+	}
+	// Missing GET parameter.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "https://doh/dns-query", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing-param status = %d", rec.Code)
+	}
+	// Bad base64.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "https://doh/dns-query?dns=%21%21", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad-b64 status = %d", rec.Code)
+	}
+	// Garbage DNS body.
+	req = httptest.NewRequest(http.MethodPost, "https://doh/dns-query", bytes.NewReader([]byte("nope")))
+	req.Header.Set("Content-Type", ContentType)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d", rec.Code)
+	}
+	// Method not allowed.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "https://doh/dns-query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("delete status = %d", rec.Code)
+	}
+}
+
+func TestClientAgainstHandlerOverNetsim(t *testing.T) {
+	inet := netsim.New()
+	ip := inet.RegisterDomain("resolved.example", "US")
+	h := NewHandler(inet)
+
+	l, _, err := inet.ListenDomain("cloudflare-dns.com", "US", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client := &Client{
+		Endpoint: "http://cloudflare-dns.com/dns-query",
+		HTTP: &http.Client{Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return inet.Dial(ctx, addr)
+			},
+		}},
+	}
+	got, err := client.Lookup("resolved.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ip) {
+		t.Fatalf("resolved %v, want %v", got, ip)
+	}
+	// The DoH endpoint saw the visited hostname — the §3.2 leak.
+	names := h.QueriedNames()
+	if len(names) != 1 || names[0] != "resolved.example" {
+		t.Fatalf("doh endpoint logged %v", names)
+	}
+	if _, err := client.Lookup("missing.example"); err == nil {
+		t.Fatal("lookup of missing name succeeded")
+	}
+}

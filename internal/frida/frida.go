@@ -1,0 +1,162 @@
+// Package frida models the dynamic-instrumentation path Panoptes uses for
+// browsers without CDP support (paper §2.1, §2.3): attach to the running
+// app process, hook the WebView's request-dispatch function to taint
+// outgoing engine requests, and call the app's load-URL entry point to
+// drive navigation — the in-process equivalent of a Frida script with an
+// Interceptor.attach and an RPC export.
+package frida
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// RequestHook observes/mutates an engine request before dispatch;
+// returning an error aborts the request.
+type RequestHook func(*http.Request) error
+
+// Exports is the hookable symbol surface an instrumented app exposes:
+// the in-process analogue of the native symbols a Frida script binds.
+type Exports struct {
+	// LoadURL is the app's navigation entry point
+	// ("com.ucweb.web.BrowserShell.loadUrl"). It returns the modelled
+	// page load latency in virtual milliseconds.
+	LoadURL func(url string) (loadTimeMs int64, err error)
+	// SetRequestHook installs (or clears, with nil) a hook on the
+	// WebView's request dispatch ("ResourceLoader::sendRequest").
+	SetRequestHook func(RequestHook)
+	// Version reports the app version.
+	Version func() string
+}
+
+// Device is the process registry Frida attaches through (the `frida -U`
+// device). Apps register on launch and unregister on stop.
+type Device struct {
+	mu      sync.Mutex
+	nextPID int
+	procs   map[string]*Process
+}
+
+// Process is one attachable app process.
+type Process struct {
+	Package string
+	PID     int
+	Exports Exports
+}
+
+// NewDevice creates an empty registry.
+func NewDevice() *Device {
+	return &Device{nextPID: 4000, procs: make(map[string]*Process)}
+}
+
+// Register announces a running app process.
+func (d *Device) Register(pkg string, exp Exports) *Process {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextPID++
+	p := &Process{Package: pkg, PID: d.nextPID, Exports: exp}
+	d.procs[pkg] = p
+	return p
+}
+
+// Unregister removes an app process (app stopped).
+func (d *Device) Unregister(pkg string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.procs, pkg)
+}
+
+// Processes lists running packages.
+func (d *Device) Processes() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.procs))
+	for p := range d.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ErrProcessNotFound reports a failed attach.
+type ErrProcessNotFound struct{ Package string }
+
+func (e *ErrProcessNotFound) Error() string {
+	return fmt.Sprintf("frida: unable to find process %q", e.Package)
+}
+
+// Session is an attachment to one app process.
+type Session struct {
+	dev  *Device
+	proc *Process
+
+	mu       sync.Mutex
+	hooked   bool
+	detached bool
+}
+
+// Attach opens a session on a running package.
+func Attach(d *Device, pkg string) (*Session, error) {
+	d.mu.Lock()
+	proc, ok := d.procs[pkg]
+	d.mu.Unlock()
+	if !ok {
+		return nil, &ErrProcessNotFound{Package: pkg}
+	}
+	return &Session{dev: d, proc: proc}, nil
+}
+
+// PID returns the attached process id.
+func (s *Session) PID() int { return s.proc.PID }
+
+// CallLoadURL invokes the app's navigation export (the RPC the Panoptes
+// Frida script exposes for browsers without CDP).
+func (s *Session) CallLoadURL(url string) (int64, error) {
+	s.mu.Lock()
+	if s.detached {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("frida: session detached")
+	}
+	s.mu.Unlock()
+	if s.proc.Exports.LoadURL == nil {
+		return 0, fmt.Errorf("frida: %s exports no loadUrl symbol", s.proc.Package)
+	}
+	return s.proc.Exports.LoadURL(url)
+}
+
+// InterceptRequests hooks the WebView request dispatch with the given
+// hook — the taint-injection path for non-CDP browsers.
+func (s *Session) InterceptRequests(hook RequestHook) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached {
+		return fmt.Errorf("frida: session detached")
+	}
+	if s.proc.Exports.SetRequestHook == nil {
+		return fmt.Errorf("frida: %s exports no sendRequest symbol", s.proc.Package)
+	}
+	s.proc.Exports.SetRequestHook(hook)
+	s.hooked = true
+	return nil
+}
+
+// Version calls the app's version export.
+func (s *Session) Version() string {
+	if s.proc.Exports.Version == nil {
+		return ""
+	}
+	return s.proc.Exports.Version()
+}
+
+// Detach removes installed hooks and closes the session.
+func (s *Session) Detach() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached {
+		return
+	}
+	if s.hooked && s.proc.Exports.SetRequestHook != nil {
+		s.proc.Exports.SetRequestHook(nil)
+	}
+	s.detached = true
+}

@@ -1,0 +1,133 @@
+package frida
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func testExports(loads *[]string, hook *RequestHook) Exports {
+	return Exports{
+		LoadURL: func(url string) (int64, error) {
+			*loads = append(*loads, url)
+			return 1200, nil
+		},
+		SetRequestHook: func(h RequestHook) { *hook = h },
+		Version:        func() string { return "13.4.2.1307" },
+	}
+}
+
+func TestAttachAndCallLoadURL(t *testing.T) {
+	d := NewDevice()
+	var loads []string
+	var hook RequestHook
+	proc := d.Register("com.UCMobile.intl", testExports(&loads, &hook))
+	if proc.PID <= 0 {
+		t.Fatalf("pid = %d", proc.PID)
+	}
+	s, err := Attach(d, "com.UCMobile.intl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PID() != proc.PID {
+		t.Fatalf("session pid = %d", s.PID())
+	}
+	ms, err := s.CallLoadURL("https://example.com/")
+	if err != nil || ms != 1200 {
+		t.Fatalf("load = %d, %v", ms, err)
+	}
+	if len(loads) != 1 || loads[0] != "https://example.com/" {
+		t.Fatalf("loads = %v", loads)
+	}
+	if s.Version() != "13.4.2.1307" {
+		t.Fatalf("version = %q", s.Version())
+	}
+}
+
+func TestAttachMissingProcess(t *testing.T) {
+	d := NewDevice()
+	_, err := Attach(d, "com.ghost")
+	var nf *ErrProcessNotFound
+	if !errors.As(err, &nf) || nf.Package != "com.ghost" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterceptRequestsInstallsHook(t *testing.T) {
+	d := NewDevice()
+	var loads []string
+	var installed RequestHook
+	d.Register("com.tencent.mtt", testExports(&loads, &installed))
+	s, err := Attach(d, "com.tencent.mtt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := s.InterceptRequests(func(r *http.Request) error {
+		called = true
+		r.Header.Set("X-Taint", "1")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if installed == nil {
+		t.Fatal("hook not installed")
+	}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	installed(req)
+	if !called || req.Header.Get("X-Taint") != "1" {
+		t.Fatal("hook did not run")
+	}
+	// Detach clears the hook.
+	s.Detach()
+	if installed != nil {
+		t.Fatal("hook not cleared on detach")
+	}
+	if _, err := s.CallLoadURL("x"); err == nil {
+		t.Fatal("call after detach succeeded")
+	}
+	if err := s.InterceptRequests(nil); err == nil {
+		t.Fatal("intercept after detach succeeded")
+	}
+	s.Detach() // idempotent
+}
+
+func TestMissingExports(t *testing.T) {
+	d := NewDevice()
+	d.Register("com.bare", Exports{})
+	s, _ := Attach(d, "com.bare")
+	if _, err := s.CallLoadURL("x"); err == nil {
+		t.Fatal("loadUrl without symbol succeeded")
+	}
+	if err := s.InterceptRequests(func(*http.Request) error { return nil }); err == nil {
+		t.Fatal("intercept without symbol succeeded")
+	}
+	if s.Version() != "" {
+		t.Fatal("version without symbol")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d := NewDevice()
+	d.Register("com.a", Exports{})
+	d.Register("com.b", Exports{})
+	if got := len(d.Processes()); got != 2 {
+		t.Fatalf("processes = %d", got)
+	}
+	d.Unregister("com.a")
+	if got := d.Processes(); len(got) != 1 || got[0] != "com.b" {
+		t.Fatalf("processes = %v", got)
+	}
+	if _, err := Attach(d, "com.a"); err == nil {
+		t.Fatal("attach to stopped process succeeded")
+	}
+}
+
+func TestPIDsIncrease(t *testing.T) {
+	d := NewDevice()
+	a := d.Register("com.a", Exports{})
+	b := d.Register("com.b", Exports{})
+	if b.PID <= a.PID {
+		t.Fatalf("pids: %d then %d", a.PID, b.PID)
+	}
+}

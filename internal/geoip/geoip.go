@@ -1,0 +1,153 @@
+// Package geoip provides the IP-to-country database the paper's §3.4
+// analysis uses (the authors used iplocation.net). The database is built
+// from the virtual internet's per-country address allocation table, so a
+// lookup of any simulated server yields the country its operator "hosts"
+// it in — Yandex in RU, QQ in CN, UC International in CA, and so on.
+package geoip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// EU is the set of EU member states (ISO 3166-1 alpha-2, 2023 membership).
+// §3.4 asks whether phone-home receivers sit inside or outside it.
+var EU = map[string]bool{
+	"AT": true, "BE": true, "BG": true, "HR": true, "CY": true, "CZ": true,
+	"DK": true, "EE": true, "FI": true, "FR": true, "DE": true, "GR": true,
+	"HU": true, "IE": true, "IT": true, "LV": true, "LT": true, "LU": true,
+	"MT": true, "NL": true, "PL": true, "PT": true, "RO": true, "SK": true,
+	"SI": true, "ES": true, "SE": true,
+}
+
+// Range is one database row: a CIDR block assigned to a country.
+type Range struct {
+	Net     *net.IPNet
+	Country string
+}
+
+// DB is an immutable-after-build IP-to-country database with binary-search
+// lookup over sorted IPv4 ranges.
+type DB struct {
+	mu     sync.RWMutex
+	ranges []rangeEntry
+	sorted bool
+}
+
+type rangeEntry struct {
+	start, end uint32 // inclusive
+	country    string
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// Add inserts a range. Overlapping ranges are allowed; the first match in
+// start order wins.
+func (db *DB) Add(n *net.IPNet, country string) error {
+	ip4 := n.IP.To4()
+	if ip4 == nil {
+		return fmt.Errorf("geoip: only IPv4 ranges supported, got %v", n)
+	}
+	ones, bits := n.Mask.Size()
+	if bits != 32 {
+		return fmt.Errorf("geoip: bad mask in %v", n)
+	}
+	start := binary.BigEndian.Uint32(ip4)
+	size := uint32(1) << (32 - ones)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ranges = append(db.ranges, rangeEntry{start: start, end: start + size - 1, country: country})
+	db.sorted = false
+	return nil
+}
+
+// AddCIDR parses and inserts a CIDR string.
+func (db *DB) AddCIDR(cidr, country string) error {
+	_, n, err := net.ParseCIDR(cidr)
+	if err != nil {
+		return fmt.Errorf("geoip: %w", err)
+	}
+	return db.Add(n, country)
+}
+
+func (db *DB) sortLocked() {
+	sort.Slice(db.ranges, func(i, j int) bool { return db.ranges[i].start < db.ranges[j].start })
+	db.sorted = true
+}
+
+// Lookup returns the country of ip and whether it is known.
+func (db *DB) Lookup(ip net.IP) (string, bool) {
+	ip4 := ip.To4()
+	if ip4 == nil {
+		return "", false
+	}
+	v := binary.BigEndian.Uint32(ip4)
+	db.mu.Lock()
+	if !db.sorted {
+		db.sortLocked()
+	}
+	ranges := db.ranges
+	db.mu.Unlock()
+
+	// First range with start > v, then step back.
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].start > v })
+	for j := i - 1; j >= 0; j-- {
+		if ranges[j].end >= v {
+			return ranges[j].country, true
+		}
+		// Ranges are disjoint in practice; one step back suffices, but
+		// keep scanning for safety with overlaps.
+		if v-ranges[j].start > 1<<24 {
+			break
+		}
+	}
+	return "", false
+}
+
+// LookupString parses ip and looks it up.
+func (db *DB) LookupString(ip string) (string, bool) {
+	parsed := net.ParseIP(ip)
+	if parsed == nil {
+		return "", false
+	}
+	return db.Lookup(parsed)
+}
+
+// InEU reports whether ip geolocates to an EU member state. Unknown
+// addresses report false for both returns.
+func (db *DB) InEU(ip net.IP) (inEU bool, known bool) {
+	c, ok := db.Lookup(ip)
+	if !ok {
+		return false, false
+	}
+	return EU[c], true
+}
+
+// Len returns the number of ranges loaded.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.ranges)
+}
+
+// Allocation is the subset of the netsim allocation table geoip needs;
+// defined locally to avoid a dependency cycle.
+type Allocation struct {
+	CIDR    *net.IPNet
+	Country string
+}
+
+// Build constructs a DB from an allocation table.
+func Build(allocs []Allocation) (*DB, error) {
+	db := New()
+	for _, a := range allocs {
+		if err := db.Add(a.CIDR, a.Country); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

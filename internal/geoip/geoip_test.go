@@ -1,0 +1,188 @@
+package geoip
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func mustCIDR(t *testing.T, s string) *net.IPNet {
+	t.Helper()
+	_, n, err := net.ParseCIDR(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLookupBasic(t *testing.T) {
+	db := New()
+	if err := db.AddCIDR("20.0.0.0/16", "RU"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddCIDR("20.1.0.0/16", "CN"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddCIDR("20.2.0.0/16", "FR"); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"20.0.0.1":     "RU",
+		"20.0.255.255": "RU",
+		"20.1.0.50":    "CN",
+		"20.2.33.44":   "FR",
+	}
+	for ip, want := range cases {
+		got, ok := db.LookupString(ip)
+		if !ok || got != want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q", ip, got, ok, want)
+		}
+	}
+	if _, ok := db.LookupString("30.0.0.1"); ok {
+		t.Error("lookup outside all ranges succeeded")
+	}
+}
+
+func TestLookupBoundaries(t *testing.T) {
+	db := New()
+	db.AddCIDR("10.10.0.0/24", "DE")
+	if c, ok := db.LookupString("10.10.0.0"); !ok || c != "DE" {
+		t.Fatalf("start boundary: %q %v", c, ok)
+	}
+	if c, ok := db.LookupString("10.10.0.255"); !ok || c != "DE" {
+		t.Fatalf("end boundary: %q %v", c, ok)
+	}
+	if _, ok := db.LookupString("10.10.1.0"); ok {
+		t.Fatal("one past end matched")
+	}
+	if _, ok := db.LookupString("10.9.255.255"); ok {
+		t.Fatal("one before start matched")
+	}
+}
+
+func TestIPv6Unknown(t *testing.T) {
+	db := New()
+	db.AddCIDR("20.0.0.0/16", "US")
+	if _, ok := db.Lookup(net.ParseIP("2001:db8::1")); ok {
+		t.Fatal("IPv6 lookup matched an IPv4 range")
+	}
+}
+
+func TestAddRejectsIPv6(t *testing.T) {
+	db := New()
+	if err := db.Add(mustCIDR(t, "2001:db8::/32"), "US"); err == nil {
+		t.Fatal("IPv6 range accepted")
+	}
+}
+
+func TestLookupStringBadInput(t *testing.T) {
+	db := New()
+	if _, ok := db.LookupString("not-an-ip"); ok {
+		t.Fatal("garbage input matched")
+	}
+}
+
+func TestInEU(t *testing.T) {
+	db := New()
+	db.AddCIDR("20.0.0.0/16", "GR") // Greece: EU (the paper's vantage point)
+	db.AddCIDR("20.1.0.0/16", "RU")
+	db.AddCIDR("20.2.0.0/16", "CA")
+	for _, tc := range []struct {
+		ip    string
+		inEU  bool
+		known bool
+	}{
+		{"20.0.0.1", true, true},
+		{"20.1.0.1", false, true},
+		{"20.2.0.1", false, true},
+		{"99.0.0.1", false, false},
+	} {
+		in, known := db.InEU(net.ParseIP(tc.ip))
+		if in != tc.inEU || known != tc.known {
+			t.Errorf("InEU(%s) = %v,%v; want %v,%v", tc.ip, in, known, tc.inEU, tc.known)
+		}
+	}
+}
+
+func TestEUMembershipTable(t *testing.T) {
+	for _, c := range []string{"DE", "FR", "GR", "ES", "SE"} {
+		if !EU[c] {
+			t.Errorf("%s not marked EU", c)
+		}
+	}
+	for _, c := range []string{"RU", "CN", "CA", "US", "GB", "CH", "NO"} {
+		if EU[c] {
+			t.Errorf("%s wrongly marked EU", c)
+		}
+	}
+}
+
+func TestBuildFromAllocations(t *testing.T) {
+	allocs := []Allocation{
+		{CIDR: mustCIDR(t, "20.0.0.0/16"), Country: "RU"},
+		{CIDR: mustCIDR(t, "20.1.0.0/16"), Country: "CN"},
+	}
+	db, err := Build(allocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if c, _ := db.LookupString("20.1.0.7"); c != "CN" {
+		t.Fatalf("lookup = %q", c)
+	}
+}
+
+func TestManyRangesBinarySearch(t *testing.T) {
+	db := New()
+	for i := 0; i < 200; i++ {
+		n := &net.IPNet{IP: net.IPv4(20, byte(i), 0, 0), Mask: net.CIDRMask(16, 32)}
+		country := "US"
+		if i%2 == 1 {
+			country = "JP"
+		}
+		if err := db.Add(n, country); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		want := "US"
+		if i%2 == 1 {
+			want = "JP"
+		}
+		got, ok := db.Lookup(net.IPv4(20, byte(i), 5, 5))
+		if !ok || got != want {
+			t.Fatalf("block %d: got %q %v", i, got, ok)
+		}
+	}
+}
+
+// Property: every address inside an added /24 resolves to its country,
+// and the adjacent /24s do not.
+func TestPropertyRangeContainment(t *testing.T) {
+	f := func(b2, b3, host uint8) bool {
+		db := New()
+		n := &net.IPNet{IP: net.IPv4(20, b2, b3, 0), Mask: net.CIDRMask(24, 32)}
+		if err := db.Add(n, "NL"); err != nil {
+			return false
+		}
+		c, ok := db.Lookup(net.IPv4(20, b2, b3, host))
+		return ok && c == "NL"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	db := New()
+	for i := 0; i < 500; i++ {
+		db.Add(&net.IPNet{IP: net.IPv4(20, byte(i%250), 0, 0), Mask: net.CIDRMask(16, 32)}, "US")
+	}
+	ip := net.IPv4(20, 100, 3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(ip)
+	}
+}

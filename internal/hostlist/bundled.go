@@ -1,0 +1,86 @@
+package hostlist
+
+// BundledHosts is the repo's stand-in for the Steven Black aggregate hosts
+// list the paper uses. It covers every ad/analytics domain the paper names
+// plus the common embeds the simulated websites reference. The format is
+// the real one, so a downstream user can swap in the full upstream list.
+const BundledHosts = `# Panoptes bundled ad/tracker hosts list
+# Format-compatible with https://github.com/StevenBlack/hosts
+# Category: ad
+0.0.0.0 doubleclick.net
+0.0.0.0 ad.doubleclick.net
+0.0.0.0 rubiconproject.com
+0.0.0.0 adnxs.com
+0.0.0.0 openx.net
+0.0.0.0 pubmatic.com
+0.0.0.0 bidswitch.net
+0.0.0.0 criteo.com
+0.0.0.0 taboola.com
+0.0.0.0 outbrain.com
+0.0.0.0 zemanta.com
+0.0.0.0 adsrvr.org
+0.0.0.0 rlcdn.com
+0.0.0.0 casalemedia.com
+0.0.0.0 smartadserver.com
+0.0.0.0 adform.net
+0.0.0.0 yieldmo.com
+0.0.0.0 sharethrough.com
+0.0.0.0 spotxchange.com
+0.0.0.0 indexww.com
+0.0.0.0 oleads.com
+0.0.0.0 s-odx.oleads.com
+0.0.0.0 admob.com
+0.0.0.0 unityads.unity3d.com
+0.0.0.0 applovin.com
+0.0.0.0 vungle.com
+0.0.0.0 inmobi.com
+0.0.0.0 mopub.com
+0.0.0.0 adfox.ru
+# Category: analytics
+0.0.0.0 google-analytics.com
+0.0.0.0 googletagmanager.com
+0.0.0.0 demdex.net
+0.0.0.0 scorecardresearch.com
+0.0.0.0 adjust.com
+0.0.0.0 appsflyer.com
+0.0.0.0 appsflyersdk.com
+0.0.0.0 mixpanel.com
+0.0.0.0 amplitude.com
+0.0.0.0 segment.io
+0.0.0.0 branch.io
+0.0.0.0 crashlytics.com
+0.0.0.0 app-measurement.com
+0.0.0.0 chartbeat.com
+0.0.0.0 newrelic.com
+0.0.0.0 hotjar.com
+0.0.0.0 quantserve.com
+0.0.0.0 statcounter.com
+0.0.0.0 firebaselogging-pa.googleapis.com
+# Category: tracker
+0.0.0.0 bluekai.com
+0.0.0.0 exelator.com
+0.0.0.0 tapad.com
+0.0.0.0 agkn.com
+0.0.0.0 mathtag.com
+0.0.0.0 turn.com
+0.0.0.0 eyeota.net
+0.0.0.0 crwdcntrl.net
+0.0.0.0 1rx.io
+0.0.0.0 id5-sync.com
+# Category: social
+0.0.0.0 graph.facebook.com
+0.0.0.0 connect.facebook.net
+0.0.0.0 analytics.tiktok.com
+0.0.0.0 ads.twitter.com
+0.0.0.0 snap.licdn.com
+`
+
+// Bundled parses BundledHosts; it panics on error because the constant is
+// part of the build.
+func Bundled() *List {
+	l, err := ParseString(BundledHosts)
+	if err != nil {
+		panic("hostlist: bundled list malformed: " + err.Error())
+	}
+	return l
+}

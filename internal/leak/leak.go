@@ -1,0 +1,312 @@
+// Package leak detects browsing-history exfiltration in native traffic
+// (paper §3.2): it searches every natively generated request for the
+// visited URL or hostname under the encodings vendors actually use —
+// plaintext, percent-escaping, standard and URL-safe Base64, hex, and
+// MD5/SHA-1/SHA-256 digests — and distinguishes full-path leaks (the
+// remote server learns the exact content) from domain-only leaks (the
+// server learns which site). It also detects persistent identifiers
+// accompanying the leaks.
+package leak
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+
+	"panoptes/internal/capture"
+)
+
+// Kind classifies what was leaked.
+type Kind string
+
+// Leak kinds. FullURL implies the destination learned path and query;
+// DomainOnly means just the visited hostname.
+const (
+	KindFullURL    Kind = "full-url"
+	KindDomainOnly Kind = "domain-only"
+)
+
+// Encoding names how the leaked value was transported.
+type Encoding string
+
+// Encodings the detector searches.
+const (
+	EncPlain     Encoding = "plain"
+	EncEscaped   Encoding = "percent-escaped"
+	EncBase64    Encoding = "base64"
+	EncBase64URL Encoding = "base64url"
+	EncHex       Encoding = "hex"
+	EncMD5       Encoding = "md5"
+	EncSHA1      Encoding = "sha1"
+	EncSHA256    Encoding = "sha256"
+)
+
+// EncodingSet selects which encodings to search (the ablation bench
+// compares plain-only against the full set).
+type EncodingSet map[Encoding]bool
+
+// AllEncodings returns the full set.
+func AllEncodings() EncodingSet {
+	return EncodingSet{
+		EncPlain: true, EncEscaped: true, EncBase64: true, EncBase64URL: true,
+		EncHex: true, EncMD5: true, EncSHA1: true, EncSHA256: true,
+	}
+}
+
+// PlainOnly returns the plain-text-only set.
+func PlainOnly() EncodingSet { return EncodingSet{EncPlain: true} }
+
+// Finding is one detected history leak.
+type Finding struct {
+	Browser   string
+	Host      string // destination that received the leak
+	Kind      Kind
+	Encoding  Encoding
+	VisitURL  string
+	Incognito bool
+	FlowID    int64
+}
+
+// representations precomputes the searchable forms of a value.
+func representations(value string, encs EncodingSet) map[Encoding][]string {
+	out := make(map[Encoding][]string, len(encs))
+	if encs[EncPlain] {
+		out[EncPlain] = []string{value}
+	}
+	if encs[EncEscaped] {
+		if esc := url.QueryEscape(value); esc != value {
+			out[EncEscaped] = []string{esc}
+		}
+	}
+	if encs[EncBase64] {
+		out[EncBase64] = []string{
+			base64.StdEncoding.EncodeToString([]byte(value)),
+			base64.RawStdEncoding.EncodeToString([]byte(value)),
+		}
+	}
+	if encs[EncBase64URL] {
+		out[EncBase64URL] = []string{
+			base64.URLEncoding.EncodeToString([]byte(value)),
+			base64.RawURLEncoding.EncodeToString([]byte(value)),
+		}
+	}
+	if encs[EncHex] {
+		out[EncHex] = []string{hex.EncodeToString([]byte(value))}
+	}
+	if encs[EncMD5] {
+		s := md5.Sum([]byte(value))
+		out[EncMD5] = []string{hex.EncodeToString(s[:])}
+	}
+	if encs[EncSHA1] {
+		s := sha1.Sum([]byte(value))
+		out[EncSHA1] = []string{hex.EncodeToString(s[:])}
+	}
+	if encs[EncSHA256] {
+		s := sha256.Sum256([]byte(value))
+		out[EncSHA256] = []string{hex.EncodeToString(s[:])}
+	}
+	return out
+}
+
+// haystack renders the searchable text of a flow: path, query
+// (raw and unescaped) and body.
+func haystack(f *capture.Flow) string {
+	var sb strings.Builder
+	sb.WriteString(f.Path)
+	sb.WriteByte('\n')
+	sb.WriteString(f.RawQuery)
+	sb.WriteByte('\n')
+	if unescaped, err := url.QueryUnescape(f.RawQuery); err == nil {
+		sb.WriteString(unescaped)
+		sb.WriteByte('\n')
+	}
+	sb.Write(f.Body)
+	return sb.String()
+}
+
+// searchFlow looks for value inside a flow under the encodings.
+func searchFlow(f *capture.Flow, value string, encs EncodingSet) (Encoding, bool) {
+	hay := haystack(f)
+	// Deterministic encoding order: plain first, digests last.
+	order := []Encoding{EncPlain, EncEscaped, EncBase64, EncBase64URL, EncHex, EncMD5, EncSHA1, EncSHA256}
+	reps := representations(value, encs)
+	for _, enc := range order {
+		for _, rep := range reps[enc] {
+			if rep != "" && strings.Contains(hay, rep) {
+				return enc, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Detector finds history leaks in a native-flow store.
+type Detector struct {
+	Encodings EncodingSet
+}
+
+// NewDetector builds a detector with the full encoding set.
+func NewDetector() *Detector { return &Detector{Encodings: AllEncodings()} }
+
+// Scan inspects every native flow that occurred during a visit and
+// reports leaks of that visit's URL or host to any destination other
+// than the visited site itself.
+func (d *Detector) Scan(native *capture.Store) []Finding {
+	var out []Finding
+	for _, f := range native.All() {
+		if f.VisitURL == "" {
+			continue
+		}
+		vu, err := url.Parse(f.VisitURL)
+		if err != nil {
+			continue
+		}
+		visitHost := vu.Hostname()
+		if f.Host == visitHost {
+			continue // talking to the visited site is not exfiltration
+		}
+
+		if enc, ok := searchFlow(f, f.VisitURL, d.Encodings); ok {
+			out = append(out, Finding{
+				Browser: f.Browser, Host: f.Host, Kind: KindFullURL,
+				Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
+			})
+			continue
+		}
+		// Domain-only: the visited hostname appears but the full URL does
+		// not. Require a host of at least two labels to avoid noise.
+		if strings.Contains(visitHost, ".") {
+			if enc, ok := searchFlow(f, visitHost, d.Encodings); ok {
+				out = append(out, Finding{
+					Browser: f.Browser, Host: f.Host, Kind: KindDomainOnly,
+					Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Summary aggregates findings per browser.
+type Summary struct {
+	Browser        string
+	FullURLHosts   []string // destinations receiving full URLs
+	DomainHosts    []string // destinations receiving visited domains
+	FullURLCount   int
+	DomainCount    int
+	IncognitoLeaks int
+}
+
+// Summarise groups findings by browser, sorted by name.
+func Summarise(findings []Finding) []Summary {
+	byBrowser := map[string]*Summary{}
+	hostSets := map[string]map[Kind]map[string]bool{}
+	for _, f := range findings {
+		s, ok := byBrowser[f.Browser]
+		if !ok {
+			s = &Summary{Browser: f.Browser}
+			byBrowser[f.Browser] = s
+			hostSets[f.Browser] = map[Kind]map[string]bool{
+				KindFullURL: {}, KindDomainOnly: {},
+			}
+		}
+		hostSets[f.Browser][f.Kind][f.Host] = true
+		switch f.Kind {
+		case KindFullURL:
+			s.FullURLCount++
+		case KindDomainOnly:
+			s.DomainCount++
+		}
+		if f.Incognito {
+			s.IncognitoLeaks++
+		}
+	}
+	var out []Summary
+	for name, s := range byBrowser {
+		for h := range hostSets[name][KindFullURL] {
+			s.FullURLHosts = append(s.FullURLHosts, h)
+		}
+		for h := range hostSets[name][KindDomainOnly] {
+			s.DomainHosts = append(s.DomainHosts, h)
+		}
+		sort.Strings(s.FullURLHosts)
+		sort.Strings(s.DomainHosts)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Browser < out[j].Browser })
+	return out
+}
+
+// idFieldPat extracts "key":"value" pairs from JSON-ish bodies for the
+// identifier miner.
+var idFieldPat = regexp.MustCompile(`"([A-Za-z0-9_.-]+)"\s*:\s*"([0-9a-fA-F-]{16,})"`)
+
+// PersistentIDs extracts candidate persistent identifiers (long
+// hex/uuid-like values) per browser and host — from query parameters and
+// from JSON request bodies (Opera's operaId travels in a POST body) —
+// for the track-across-sessions analysis.
+func PersistentIDs(native *capture.Store) map[string]map[string][]string {
+	out := map[string]map[string][]string{}
+	record := func(f *capture.Flow, k, v string) {
+		if !looksLikeIDKey(k) || !looksLikeID(v) {
+			return
+		}
+		if out[f.Browser] == nil {
+			out[f.Browser] = map[string][]string{}
+		}
+		key := f.Host + "?" + k
+		if !contains(out[f.Browser][key], v) {
+			out[f.Browser][key] = append(out[f.Browser][key], v)
+		}
+	}
+	for _, f := range native.All() {
+		if vals, err := url.ParseQuery(f.RawQuery); err == nil {
+			for k, vs := range vals {
+				for _, v := range vs {
+					record(f, k, v)
+				}
+			}
+		}
+		for _, m := range idFieldPat.FindAllStringSubmatch(string(f.Body), -1) {
+			record(f, m[1], m[2])
+		}
+	}
+	return out
+}
+
+func looksLikeIDKey(k string) bool {
+	lk := strings.ToLower(k)
+	for _, pat := range []string{"uuid", "guid", "deviceid", "device_id", "clientid", "client_id", "installid", "operaid", "uid"} {
+		if strings.Contains(lk, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func looksLikeID(v string) bool {
+	if len(v) < 16 {
+		return false
+	}
+	for _, c := range v {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,430 @@
+// Package netfilter implements the iptables-style rule engine the paper's
+// testbed uses to divert each browser's traffic into the transparent MITM
+// proxy. Panoptes extracts every browser's kernel UID and installs
+// per-UID REDIRECT rules in the nat/OUTPUT chain, plus a DROP rule for
+// UDP 443 that forces HTTP/3 clients to fall back to proxyable HTTP/2 or
+// HTTP/1.1 (paper §2.2).
+//
+// Rules are evaluated against connection metadata by the device network
+// stack; the engine supports the matches the paper needs (protocol,
+// destination port/network, owner UID — iptables' `-m owner --uid-owner`)
+// and the ACCEPT, DROP, RETURN and REDIRECT targets. A small parser
+// accepts the familiar iptables flag syntax so campaigns read like the
+// real tool invocations.
+package netfilter
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Verdict is the outcome of evaluating a chain against a packet.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictAccept Verdict = iota
+	VerdictDrop
+	VerdictRedirect
+	verdictReturn // internal: fall through to the chain policy
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "ACCEPT"
+	case VerdictDrop:
+		return "DROP"
+	case VerdictRedirect:
+		return "REDIRECT"
+	case verdictReturn:
+		return "RETURN"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Proto selects a transport protocol.
+type Proto string
+
+// Protocols.
+const (
+	ProtoAll Proto = "all"
+	ProtoTCP Proto = "tcp"
+	ProtoUDP Proto = "udp"
+)
+
+// Packet is the metadata a rule is matched against.
+type Packet struct {
+	Proto    Proto
+	SrcIP    net.IP
+	DstIP    net.IP
+	DstPort  int
+	OwnerUID int // -1 when unknown (e.g. forwarded traffic)
+}
+
+// Match is the condition part of a rule. Nil pointer fields are
+// wildcards.
+type Match struct {
+	Proto    Proto      // ProtoAll matches everything
+	OwnerUID *int       // -m owner --uid-owner
+	DstPort  *int       // --dport
+	DstNet   *net.IPNet // -d
+}
+
+// Matches reports whether pkt satisfies the condition.
+func (m Match) Matches(pkt Packet) bool {
+	if m.Proto != "" && m.Proto != ProtoAll && m.Proto != pkt.Proto {
+		return false
+	}
+	if m.OwnerUID != nil && *m.OwnerUID != pkt.OwnerUID {
+		return false
+	}
+	if m.DstPort != nil && *m.DstPort != pkt.DstPort {
+		return false
+	}
+	if m.DstNet != nil && (pkt.DstIP == nil || !m.DstNet.Contains(pkt.DstIP)) {
+		return false
+	}
+	return true
+}
+
+// Rule couples a match with a target.
+type Rule struct {
+	Match        Match
+	Verdict      Verdict
+	RedirectAddr string // "ip:port" for VerdictRedirect
+	Comment      string
+}
+
+// Result is the evaluation outcome.
+type Result struct {
+	Verdict      Verdict
+	RedirectAddr string
+	Rule         *Rule // matching rule, nil when the chain policy applied
+}
+
+// Chain is an ordered rule list with a default policy.
+type Chain struct {
+	name   string
+	policy Verdict
+	rules  []*Rule
+}
+
+// Table is a named set of chains ("nat", "filter").
+type Table struct {
+	name   string
+	chains map[string]*Chain
+}
+
+// Stack is the full rule stack. It is safe for concurrent use.
+type Stack struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStack creates a stack with the standard nat and filter tables, each
+// holding OUTPUT and PREROUTING chains with ACCEPT policies.
+func NewStack() *Stack {
+	s := &Stack{tables: make(map[string]*Table)}
+	for _, tn := range []string{"nat", "filter"} {
+		t := &Table{name: tn, chains: make(map[string]*Chain)}
+		for _, cn := range []string{"OUTPUT", "PREROUTING"} {
+			t.chains[cn] = &Chain{name: cn, policy: VerdictAccept}
+		}
+		s.tables[tn] = t
+	}
+	return s
+}
+
+func (s *Stack) chain(table, chain string) (*Chain, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("netfilter: no such table %q", table)
+	}
+	c, ok := t.chains[chain]
+	if !ok {
+		return nil, fmt.Errorf("netfilter: no chain %q in table %q", chain, table)
+	}
+	return c, nil
+}
+
+// Append adds a rule to the end of a chain (iptables -A).
+func (s *Stack) Append(table, chain string, r Rule) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.chain(table, chain)
+	if err != nil {
+		return err
+	}
+	if r.Verdict == VerdictRedirect && r.RedirectAddr == "" {
+		return fmt.Errorf("netfilter: REDIRECT rule without destination")
+	}
+	rr := r
+	c.rules = append(c.rules, &rr)
+	return nil
+}
+
+// Flush removes all rules from a chain (iptables -F).
+func (s *Stack) Flush(table, chain string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.chain(table, chain)
+	if err != nil {
+		return err
+	}
+	c.rules = nil
+	return nil
+}
+
+// FlushAll clears every chain in every table.
+func (s *Stack) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tables {
+		for _, c := range t.chains {
+			c.rules = nil
+		}
+	}
+}
+
+// SetPolicy sets a chain's default policy (iptables -P).
+func (s *Stack) SetPolicy(table, chain string, v Verdict) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.chain(table, chain)
+	if err != nil {
+		return err
+	}
+	if v != VerdictAccept && v != VerdictDrop {
+		return fmt.Errorf("netfilter: invalid chain policy %v", v)
+	}
+	c.policy = v
+	return nil
+}
+
+// Rules lists a chain's rules in order.
+func (s *Stack) Rules(table, chain string) ([]Rule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.chain(table, chain)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Rule, len(c.rules))
+	for i, r := range c.rules {
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// Eval runs pkt through a chain: the first matching rule decides, the
+// policy applies otherwise. RETURN rules fall through to the policy, as
+// in a built-in chain.
+func (s *Stack) Eval(table, chain string, pkt Packet) (Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.chain(table, chain)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range c.rules {
+		if !r.Match.Matches(pkt) {
+			continue
+		}
+		if r.Verdict == verdictReturn {
+			break
+		}
+		return Result{Verdict: r.Verdict, RedirectAddr: r.RedirectAddr, Rule: r}, nil
+	}
+	return Result{Verdict: c.policy}, nil
+}
+
+// EvalOutput runs the locally-generated-traffic path: nat/OUTPUT first
+// (for REDIRECT), then filter/OUTPUT (for DROP), mirroring netfilter's
+// traversal order for local output.
+func (s *Stack) EvalOutput(pkt Packet) (Result, error) {
+	natRes, err := s.Eval("nat", "OUTPUT", pkt)
+	if err != nil {
+		return Result{}, err
+	}
+	filterRes, err := s.Eval("filter", "OUTPUT", pkt)
+	if err != nil {
+		return Result{}, err
+	}
+	if filterRes.Verdict == VerdictDrop {
+		return filterRes, nil
+	}
+	return natRes, nil
+}
+
+// Exec parses and applies one iptables-style command line, e.g.
+//
+//	-t nat -A OUTPUT -p tcp -m owner --uid-owner 10089 -j REDIRECT --to 192.168.1.100:8080
+//	-t filter -A OUTPUT -p udp --dport 443 -j DROP
+//
+// Unsupported flags return an error rather than being ignored.
+func (s *Stack) Exec(cmdline string) error {
+	args := strings.Fields(cmdline)
+	table := "filter"
+	var chain string
+	var op string // "A", "F", "P"
+	var policy string
+	r := Rule{Verdict: VerdictAccept}
+	jumpSet := false
+
+	i := 0
+	next := func(flag string) (string, error) {
+		i++
+		if i >= len(args) {
+			return "", fmt.Errorf("netfilter: %s needs an argument", flag)
+		}
+		return args[i], nil
+	}
+	for ; i < len(args); i++ {
+		switch args[i] {
+		case "-t":
+			v, err := next("-t")
+			if err != nil {
+				return err
+			}
+			table = v
+		case "-A":
+			v, err := next("-A")
+			if err != nil {
+				return err
+			}
+			op, chain = "A", v
+		case "-F":
+			op = "F"
+			if i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+				i++
+				chain = args[i]
+			}
+		case "-P":
+			v, err := next("-P")
+			if err != nil {
+				return err
+			}
+			op, chain = "P", v
+			pv, err := next("-P")
+			if err != nil {
+				return err
+			}
+			policy = pv
+		case "-p":
+			v, err := next("-p")
+			if err != nil {
+				return err
+			}
+			switch Proto(v) {
+			case ProtoTCP, ProtoUDP, ProtoAll:
+				r.Match.Proto = Proto(v)
+			default:
+				return fmt.Errorf("netfilter: unknown protocol %q", v)
+			}
+		case "-m":
+			v, err := next("-m")
+			if err != nil {
+				return err
+			}
+			if v != "owner" && v != "tcp" && v != "udp" {
+				return fmt.Errorf("netfilter: unsupported match extension %q", v)
+			}
+		case "--uid-owner":
+			v, err := next("--uid-owner")
+			if err != nil {
+				return err
+			}
+			uid, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("netfilter: bad uid %q: %w", v, err)
+			}
+			r.Match.OwnerUID = &uid
+		case "--dport":
+			v, err := next("--dport")
+			if err != nil {
+				return err
+			}
+			port, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("netfilter: bad port %q: %w", v, err)
+			}
+			r.Match.DstPort = &port
+		case "-d":
+			v, err := next("-d")
+			if err != nil {
+				return err
+			}
+			if !strings.Contains(v, "/") {
+				v += "/32"
+			}
+			_, n, err := net.ParseCIDR(v)
+			if err != nil {
+				return fmt.Errorf("netfilter: bad destination %q: %w", v, err)
+			}
+			r.Match.DstNet = n
+		case "-j":
+			v, err := next("-j")
+			if err != nil {
+				return err
+			}
+			jumpSet = true
+			switch v {
+			case "ACCEPT":
+				r.Verdict = VerdictAccept
+			case "DROP":
+				r.Verdict = VerdictDrop
+			case "RETURN":
+				r.Verdict = verdictReturn
+			case "REDIRECT":
+				r.Verdict = VerdictRedirect
+			default:
+				return fmt.Errorf("netfilter: unknown target %q", v)
+			}
+		case "--to", "--to-destination", "--to-ports":
+			v, err := next(args[i])
+			if err != nil {
+				return err
+			}
+			r.RedirectAddr = v
+		case "--comment":
+			v, err := next("--comment")
+			if err != nil {
+				return err
+			}
+			r.Comment = v
+		default:
+			return fmt.Errorf("netfilter: unsupported flag %q", args[i])
+		}
+	}
+
+	switch op {
+	case "A":
+		if !jumpSet {
+			return fmt.Errorf("netfilter: -A without -j")
+		}
+		return s.Append(table, chain, r)
+	case "F":
+		if chain == "" {
+			s.FlushAll()
+			return nil
+		}
+		return s.Flush(table, chain)
+	case "P":
+		var v Verdict
+		switch policy {
+		case "ACCEPT":
+			v = VerdictAccept
+		case "DROP":
+			v = VerdictDrop
+		default:
+			return fmt.Errorf("netfilter: invalid policy %q", policy)
+		}
+		return s.SetPolicy(table, chain, v)
+	}
+	return fmt.Errorf("netfilter: no operation in %q", cmdline)
+}

@@ -1,0 +1,272 @@
+package netfilter
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func intp(v int) *int { return &v }
+
+func TestDefaultPolicyAccept(t *testing.T) {
+	s := NewStack()
+	res, err := s.Eval("nat", "OUTPUT", Packet{Proto: ProtoTCP, DstPort: 80, OwnerUID: 10001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictAccept || res.Rule != nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestOwnerRedirect(t *testing.T) {
+	s := NewStack()
+	err := s.Append("nat", "OUTPUT", Rule{
+		Match:        Match{Proto: ProtoTCP, OwnerUID: intp(10089)},
+		Verdict:      VerdictRedirect,
+		RedirectAddr: "192.168.1.100:8080",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.EvalOutput(Packet{Proto: ProtoTCP, DstPort: 443, OwnerUID: 10089})
+	if res.Verdict != VerdictRedirect || res.RedirectAddr != "192.168.1.100:8080" {
+		t.Fatalf("res = %+v", res)
+	}
+	// Different UID passes untouched.
+	res, _ = s.EvalOutput(Packet{Proto: ProtoTCP, DstPort: 443, OwnerUID: 10090})
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("other uid res = %+v", res)
+	}
+	// UDP from the same UID is not redirected by a -p tcp rule.
+	res, _ = s.EvalOutput(Packet{Proto: ProtoUDP, DstPort: 443, OwnerUID: 10089})
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("udp res = %+v", res)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	s := NewStack()
+	s.Append("filter", "OUTPUT", Rule{Match: Match{DstPort: intp(80)}, Verdict: VerdictDrop})
+	s.Append("filter", "OUTPUT", Rule{Match: Match{DstPort: intp(80)}, Verdict: VerdictAccept})
+	res, _ := s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP, DstPort: 80})
+	if res.Verdict != VerdictDrop {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDropBeatsRedirectInOutputPath(t *testing.T) {
+	s := NewStack()
+	s.Append("nat", "OUTPUT", Rule{Match: Match{Proto: ProtoUDP}, Verdict: VerdictRedirect, RedirectAddr: "x:1"})
+	s.Append("filter", "OUTPUT", Rule{Match: Match{Proto: ProtoUDP, DstPort: intp(443)}, Verdict: VerdictDrop})
+	res, _ := s.EvalOutput(Packet{Proto: ProtoUDP, DstPort: 443})
+	if res.Verdict != VerdictDrop {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDstNetMatch(t *testing.T) {
+	s := NewStack()
+	_, n, _ := net.ParseCIDR("20.5.0.0/16")
+	s.Append("filter", "OUTPUT", Rule{Match: Match{DstNet: n}, Verdict: VerdictDrop})
+	res, _ := s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP, DstIP: net.IPv4(20, 5, 9, 9)})
+	if res.Verdict != VerdictDrop {
+		t.Fatal("in-net packet not dropped")
+	}
+	res, _ = s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP, DstIP: net.IPv4(20, 6, 9, 9)})
+	if res.Verdict != VerdictAccept {
+		t.Fatal("out-of-net packet dropped")
+	}
+	// Packet without DstIP does not match a -d rule.
+	res, _ = s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP})
+	if res.Verdict != VerdictAccept {
+		t.Fatal("nil-DstIP packet dropped")
+	}
+}
+
+func TestRedirectRequiresAddr(t *testing.T) {
+	s := NewStack()
+	if err := s.Append("nat", "OUTPUT", Rule{Verdict: VerdictRedirect}); err == nil {
+		t.Fatal("REDIRECT without address accepted")
+	}
+}
+
+func TestUnknownTableChain(t *testing.T) {
+	s := NewStack()
+	if _, err := s.Eval("mangle", "OUTPUT", Packet{}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := s.Eval("nat", "FORWARD", Packet{}); err == nil {
+		t.Fatal("unknown chain accepted")
+	}
+	if err := s.Append("nat", "NOPE", Rule{}); err == nil {
+		t.Fatal("append to unknown chain accepted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := NewStack()
+	s.Append("nat", "OUTPUT", Rule{Match: Match{}, Verdict: VerdictDrop})
+	if err := s.Flush("nat", "OUTPUT"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Eval("nat", "OUTPUT", Packet{})
+	if res.Verdict != VerdictAccept {
+		t.Fatal("rule survived flush")
+	}
+}
+
+func TestSetPolicy(t *testing.T) {
+	s := NewStack()
+	if err := s.SetPolicy("filter", "OUTPUT", VerdictDrop); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Eval("filter", "OUTPUT", Packet{})
+	if res.Verdict != VerdictDrop {
+		t.Fatal("policy not applied")
+	}
+	if err := s.SetPolicy("filter", "OUTPUT", VerdictRedirect); err == nil {
+		t.Fatal("REDIRECT accepted as policy")
+	}
+}
+
+func TestExecPaperRules(t *testing.T) {
+	// The two rule shapes §2.2 installs per browser.
+	s := NewStack()
+	if err := s.Exec("-t nat -A OUTPUT -p tcp -m owner --uid-owner 10089 -j REDIRECT --to 192.168.1.100:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Exec("-t filter -A OUTPUT -p udp --dport 443 -j DROP"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.EvalOutput(Packet{Proto: ProtoTCP, DstPort: 443, OwnerUID: 10089})
+	if res.Verdict != VerdictRedirect || res.RedirectAddr != "192.168.1.100:8080" {
+		t.Fatalf("tcp res = %+v", res)
+	}
+	res, _ = s.EvalOutput(Packet{Proto: ProtoUDP, DstPort: 443, OwnerUID: 10089})
+	if res.Verdict != VerdictDrop {
+		t.Fatalf("quic res = %+v", res)
+	}
+	res, _ = s.EvalOutput(Packet{Proto: ProtoUDP, DstPort: 53, OwnerUID: 10089})
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("dns res = %+v", res)
+	}
+}
+
+func TestExecFlushAndPolicy(t *testing.T) {
+	s := NewStack()
+	s.Exec("-t nat -A OUTPUT -p tcp -j DROP")
+	if err := s.Exec("-t nat -F OUTPUT"); err != nil {
+		t.Fatal(err)
+	}
+	rules, _ := s.Rules("nat", "OUTPUT")
+	if len(rules) != 0 {
+		t.Fatal("flush via Exec failed")
+	}
+	if err := s.Exec("-t filter -P OUTPUT DROP"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Eval("filter", "OUTPUT", Packet{})
+	if res.Verdict != VerdictDrop {
+		t.Fatal("policy via Exec failed")
+	}
+	if err := s.Exec("-F"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	s := NewStack()
+	for _, bad := range []string{
+		"-t nat -A OUTPUT -p tcp", // no -j
+		"-t nat -A OUTPUT -p icmp -j DROP",
+		"-t nat -A OUTPUT -j TEAPOT",
+		"-t nat -A OUTPUT --uid-owner notanumber -j DROP",
+		"-t nat -A OUTPUT --dport abc -j DROP",
+		"-t nat -A OUTPUT -d 300.1.1.1 -j DROP",
+		"-t nat -A OUTPUT -m conntrack -j DROP",
+		"-z",
+		"",
+	} {
+		if err := s.Exec(bad); err == nil {
+			t.Errorf("Exec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestExecDestinationMatch(t *testing.T) {
+	s := NewStack()
+	if err := s.Exec("-t filter -A OUTPUT -d 20.7.0.0/16 -j DROP"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP, DstIP: net.IPv4(20, 7, 1, 1)})
+	if res.Verdict != VerdictDrop {
+		t.Fatal("destination match failed")
+	}
+}
+
+func TestReturnFallsThroughToPolicy(t *testing.T) {
+	s := NewStack()
+	s.Exec("-t filter -A OUTPUT -p tcp -j RETURN")
+	s.Exec("-t filter -A OUTPUT -p tcp -j DROP")
+	res, _ := s.Eval("filter", "OUTPUT", Packet{Proto: ProtoTCP})
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("RETURN did not fall through: %+v", res)
+	}
+}
+
+func TestRulesListing(t *testing.T) {
+	s := NewStack()
+	s.Exec("-t nat -A OUTPUT -p tcp -m owner --uid-owner 10010 -j REDIRECT --to p:1 --comment browser-chrome")
+	rules, err := s.Rules("nat", "OUTPUT")
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("rules = %v, %v", rules, err)
+	}
+	if rules[0].Comment != "browser-chrome" || *rules[0].Match.OwnerUID != 10010 {
+		t.Fatalf("rule = %+v", rules[0])
+	}
+}
+
+// Property: a per-UID redirect diverts exactly that UID's TCP traffic and
+// nothing else.
+func TestPropertyUIDIsolation(t *testing.T) {
+	f := func(target uint16, probe uint16, udp bool) bool {
+		s := NewStack()
+		uid := 10000 + int(target)%1000
+		s.Append("nat", "OUTPUT", Rule{
+			Match:        Match{Proto: ProtoTCP, OwnerUID: &uid},
+			Verdict:      VerdictRedirect,
+			RedirectAddr: "p:8080",
+		})
+		p := Packet{Proto: ProtoTCP, OwnerUID: 10000 + int(probe)%1000}
+		if udp {
+			p.Proto = ProtoUDP
+		}
+		res, err := s.EvalOutput(p)
+		if err != nil {
+			return false
+		}
+		shouldRedirect := p.OwnerUID == uid && !udp
+		return (res.Verdict == VerdictRedirect) == shouldRedirect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEvalOutput(b *testing.B) {
+	s := NewStack()
+	for uid := 10000; uid < 10015; uid++ {
+		u := uid
+		s.Append("nat", "OUTPUT", Rule{
+			Match:        Match{Proto: ProtoTCP, OwnerUID: &u},
+			Verdict:      VerdictRedirect,
+			RedirectAddr: "192.168.1.100:8080",
+		})
+	}
+	pkt := Packet{Proto: ProtoTCP, DstPort: 443, OwnerUID: 10014}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EvalOutput(pkt)
+	}
+}

@@ -1,0 +1,355 @@
+// Package netsim provides the virtual internet on which the Panoptes
+// simulation runs: country-scoped IPv4 address allocation, an authoritative
+// domain registry, in-memory TCP connections with real net.Conn semantics
+// (buffered pipes, deadlines, addresses), per-connection metadata for
+// transparent-proxy original-destination recovery, and a small UDP datagram
+// layer.
+//
+// Everything is in-process: listeners accept connections created by Dial,
+// and real protocol stacks (crypto/tls, net/http) run over them unchanged.
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Block is a CIDR range allocated to a country. The geoip database is
+// built from the allocation table.
+type Block struct {
+	CIDR    *net.IPNet
+	Country string // ISO 3166-1 alpha-2, e.g. "RU"
+}
+
+// ErrConnRefused is returned by Dial when nothing listens at the target.
+type ErrConnRefused struct{ Addr string }
+
+func (e *ErrConnRefused) Error() string {
+	return fmt.Sprintf("netsim: connection refused: no listener at %s", e.Addr)
+}
+
+// ErrNoSuchHost is returned when a domain is not registered.
+type ErrNoSuchHost struct{ Host string }
+
+func (e *ErrNoSuchHost) Error() string {
+	return fmt.Sprintf("netsim: no such host: %s", e.Host)
+}
+
+// Internet is the top-level virtual network: address allocator, DNS
+// authority and listener registry. The zero value is not usable; call New.
+type Internet struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener // "ip:port" -> listener
+	domains   map[string]net.IP    // fqdn -> address
+	rdns      map[string]string    // ip -> fqdn (first registered wins)
+	blocks    []Block
+	nextB     map[string]uint32 // country -> next host offset in its block
+	countryOf map[string]int    // country -> index into blocks (current block)
+	nextSlash uint32            // next /16 block number
+	h3        map[string]bool   // domains advertising HTTP/3
+
+	udpMu sync.Mutex
+	udp   map[string]*UDPEndpoint // "ip:port" -> endpoint
+}
+
+// New returns an empty Internet. Address blocks are carved from
+// 20.0.0.0/8 upward, one /16 per country at a time.
+func New() *Internet {
+	return &Internet{
+		listeners: make(map[string]*Listener),
+		domains:   make(map[string]net.IP),
+		rdns:      make(map[string]string),
+		nextB:     make(map[string]uint32),
+		countryOf: make(map[string]int),
+		h3:        make(map[string]bool),
+	}
+}
+
+// AllocIP allocates the next address for country and returns it. Each
+// country draws from its own /16 block; a new block is carved when one
+// fills.
+func (in *Internet) AllocIP(country string) net.IP {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.allocIPLocked(country)
+}
+
+func (in *Internet) allocIPLocked(country string) net.IP {
+	idx, ok := in.countryOf[country]
+	if !ok || in.nextB[country] >= 0xFFFE {
+		// Carve a fresh /16: 20.X.0.0/16 with X = block counter (spilling
+		// into 21.x etc. beyond 256 blocks).
+		n := in.nextSlash
+		in.nextSlash++
+		base := uint32(20)<<24 | n<<16
+		ipnet := &net.IPNet{IP: u32ip(base), Mask: net.CIDRMask(16, 32)}
+		in.blocks = append(in.blocks, Block{CIDR: ipnet, Country: country})
+		idx = len(in.blocks) - 1
+		in.countryOf[country] = idx
+		in.nextB[country] = 1
+	}
+	off := in.nextB[country]
+	in.nextB[country] = off + 1
+	base := binary.BigEndian.Uint32(in.blocks[idx].CIDR.IP.To4())
+	return u32ip(base + off)
+}
+
+func u32ip(v uint32) net.IP {
+	ip := make(net.IP, 4)
+	binary.BigEndian.PutUint32(ip, v)
+	return ip
+}
+
+// Blocks returns a copy of the allocation table, for building the geoip
+// database.
+func (in *Internet) Blocks() []Block {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Block, len(in.blocks))
+	copy(out, in.blocks)
+	return out
+}
+
+// RegisterDomain binds a fully-qualified domain name to an address
+// allocated in the given country, returning the address. Registering an
+// already-known domain returns the existing address without reallocating.
+func (in *Internet) RegisterDomain(fqdn, country string) net.IP {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if ip, ok := in.domains[fqdn]; ok {
+		return ip
+	}
+	ip := in.allocIPLocked(country)
+	in.domains[fqdn] = ip
+	if _, ok := in.rdns[ip.String()]; !ok {
+		in.rdns[ip.String()] = fqdn
+	}
+	return ip
+}
+
+// LookupHost resolves a registered domain (or returns a literal IP as-is).
+func (in *Internet) LookupHost(host string) (net.IP, error) {
+	if ip := net.ParseIP(host); ip != nil {
+		return ip, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ip, ok := in.domains[host]
+	if !ok {
+		return nil, &ErrNoSuchHost{Host: host}
+	}
+	return ip, nil
+}
+
+// ReverseLookup returns the first domain registered at ip, if any.
+func (in *Internet) ReverseLookup(ip net.IP) (string, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	d, ok := in.rdns[ip.String()]
+	return d, ok
+}
+
+// Domains returns all registered domains, sorted.
+func (in *Internet) Domains() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.domains))
+	for d := range in.domains {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AdvertiseH3 marks a domain as offering HTTP/3 (UDP/443). The HTTP/3
+// blocking experiment uses it.
+func (in *Internet) AdvertiseH3(fqdn string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.h3[fqdn] = true
+}
+
+// SupportsH3 reports whether a domain advertises HTTP/3.
+func (in *Internet) SupportsH3(fqdn string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.h3[fqdn]
+}
+
+// Listener accepts in-memory connections delivered to a registered
+// ip:port. It implements net.Listener.
+type Listener struct {
+	in     *Internet
+	addr   *net.TCPAddr
+	ch     chan *Conn
+	done   chan struct{}
+	closed sync.Once
+}
+
+// ListenIP registers a listener at ip:port.
+func (in *Internet) ListenIP(ip net.IP, port int) (*Listener, error) {
+	key := TCPAddr(ip, port).String()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.listeners[key]; ok {
+		return nil, fmt.Errorf("netsim: address in use: %s", key)
+	}
+	l := &Listener{
+		in:   in,
+		addr: TCPAddr(ip, port),
+		ch:   make(chan *Conn, 128),
+		done: make(chan struct{}),
+	}
+	in.listeners[key] = l
+	return l, nil
+}
+
+// ListenDomain registers fqdn in country (allocating an address if needed)
+// and listens on the given port there.
+func (in *Internet) ListenDomain(fqdn, country string, port int) (*Listener, net.IP, error) {
+	ip := in.RegisterDomain(fqdn, country)
+	l, err := in.ListenIP(ip, port)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, ip, nil
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unregisters the listener. Pending Accept calls return net.ErrClosed.
+func (l *Listener) Close() error {
+	l.closed.Do(func() {
+		l.in.mu.Lock()
+		delete(l.in.listeners, l.addr.String())
+		l.in.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+// Addr returns the listen address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// deliver hands the server end of a new connection to the listener.
+func (l *Listener) deliver(c *Conn) error {
+	select {
+	case l.ch <- c:
+		return nil
+	case <-l.done:
+		return net.ErrClosed
+	}
+}
+
+// DialOption customises a Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	meta     Meta
+	srcIP    net.IP
+	srcPort  int
+}
+
+// WithMeta attaches simulation metadata to the connection.
+func WithMeta(m Meta) DialOption { return func(c *dialConfig) { c.meta = m } }
+
+// WithSource sets the client-side address of the connection.
+func WithSource(ip net.IP, port int) DialOption {
+	return func(c *dialConfig) { c.srcIP = ip; c.srcPort = port }
+}
+
+var dialSeq struct {
+	mu   sync.Mutex
+	next int
+}
+
+func nextEphemeralPort() int {
+	dialSeq.mu.Lock()
+	defer dialSeq.mu.Unlock()
+	if dialSeq.next == 0 || dialSeq.next > 60999 {
+		dialSeq.next = 32768
+	}
+	p := dialSeq.next
+	dialSeq.next++
+	return p
+}
+
+// Dial opens a connection to addr ("host:port", host may be a domain or a
+// literal IP). It resolves the host, finds the listener and returns the
+// client end. There is no handshake latency: the server end is delivered
+// to the listener before Dial returns.
+func (in *Internet) Dial(ctx context.Context, addr string, opts ...DialOption) (*Conn, error) {
+	cfg := dialConfig{meta: Meta{OwnerUID: -1, OriginalDst: addr}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
+	}
+	var port int
+	if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
+		return nil, fmt.Errorf("netsim: dial %s: bad port: %w", addr, err)
+	}
+	ip, err := in.LookupHost(host)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	in.mu.Lock()
+	l, ok := in.listeners[TCPAddr(ip, port).String()]
+	in.mu.Unlock()
+	if !ok {
+		return nil, &ErrConnRefused{Addr: TCPAddr(ip, port).String()}
+	}
+
+	srcIP := cfg.srcIP
+	if srcIP == nil {
+		srcIP = net.IPv4(192, 168, 1, 100)
+	}
+	srcPort := cfg.srcPort
+	if srcPort == 0 {
+		srcPort = nextEphemeralPort()
+	}
+	client, server := Pair(TCPAddr(srcIP, srcPort), TCPAddr(ip, port), cfg.meta)
+	if err := l.deliver(server); err != nil {
+		return nil, &ErrConnRefused{Addr: TCPAddr(ip, port).String()}
+	}
+	return client, nil
+}
+
+// DeliverTo injects a pre-built server conn into the listener at addr.
+// The device network stack uses it to complete transparent redirection
+// with rewritten metadata.
+func (in *Internet) DeliverTo(addr string, server *Conn) error {
+	in.mu.Lock()
+	l, ok := in.listeners[addr]
+	in.mu.Unlock()
+	if !ok {
+		return &ErrConnRefused{Addr: addr}
+	}
+	return l.deliver(server)
+}
+
+// HasListener reports whether something listens at "ip:port".
+func (in *Internet) HasListener(addr string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, ok := in.listeners[addr]
+	return ok
+}

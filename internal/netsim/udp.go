@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Datagram is one UDP message in flight.
+type Datagram struct {
+	From    *net.UDPAddr
+	To      *net.UDPAddr
+	Payload []byte
+}
+
+// UDPEndpoint is a bound UDP socket on the virtual internet. It implements
+// the subset of net.PacketConn the simulation needs (ReadFrom, WriteTo,
+// Close, deadlines).
+type UDPEndpoint struct {
+	in       *Internet
+	addr     *net.UDPAddr
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Datagram
+	closed   bool
+	deadline time.Time
+}
+
+// ListenUDP binds a UDP endpoint at ip:port.
+func (in *Internet) ListenUDP(ip net.IP, port int) (*UDPEndpoint, error) {
+	key := (&net.UDPAddr{IP: ip, Port: port}).String()
+	in.udpMu.Lock()
+	defer in.udpMu.Unlock()
+	if in.udp == nil {
+		in.udp = make(map[string]*UDPEndpoint)
+	}
+	if _, ok := in.udp[key]; ok {
+		return nil, fmt.Errorf("netsim: udp address in use: %s", key)
+	}
+	ep := &UDPEndpoint{in: in, addr: &net.UDPAddr{IP: ip, Port: port}}
+	ep.cond = sync.NewCond(&ep.mu)
+	in.udp[key] = ep
+	return ep, nil
+}
+
+// SendUDP delivers a datagram to the endpoint bound at to, if any. It
+// reports whether a receiver existed; lost datagrams are silently dropped,
+// matching UDP semantics, but the boolean lets callers model ICMP
+// port-unreachable behaviour.
+func (in *Internet) SendUDP(from, to *net.UDPAddr, payload []byte) bool {
+	in.udpMu.Lock()
+	ep, ok := in.udp[to.String()]
+	in.udpMu.Unlock()
+	if !ok {
+		return false
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return false
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	ep.queue = append(ep.queue, Datagram{From: from, To: to, Payload: p})
+	ep.cond.Broadcast()
+	return true
+}
+
+// ReadFrom blocks until a datagram arrives, the endpoint closes, or the
+// deadline passes.
+func (ep *UDPEndpoint) ReadFrom(p []byte) (int, *net.UDPAddr, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		if len(ep.queue) > 0 {
+			d := ep.queue[0]
+			ep.queue = ep.queue[1:]
+			n := copy(p, d.Payload)
+			return n, d.From, nil
+		}
+		if ep.closed {
+			return 0, nil, net.ErrClosed
+		}
+		if !ep.deadline.IsZero() && !time.Now().Before(ep.deadline) {
+			return 0, nil, os.ErrDeadlineExceeded
+		}
+		ep.cond.Wait()
+	}
+}
+
+// WriteTo sends a datagram from this endpoint's address.
+func (ep *UDPEndpoint) WriteTo(p []byte, to *net.UDPAddr) (int, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	ep.mu.Unlock()
+	ep.in.SendUDP(ep.addr, to, p)
+	return len(p), nil
+}
+
+// SetReadDeadline sets the deadline for ReadFrom.
+func (ep *UDPEndpoint) SetReadDeadline(t time.Time) error {
+	ep.mu.Lock()
+	ep.deadline = t
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	if !t.IsZero() {
+		time.AfterFunc(time.Until(t), func() {
+			ep.mu.Lock()
+			ep.cond.Broadcast()
+			ep.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// LocalAddr returns the bound address.
+func (ep *UDPEndpoint) LocalAddr() *net.UDPAddr { return ep.addr }
+
+// Close unbinds the endpoint.
+func (ep *UDPEndpoint) Close() error {
+	ep.in.udpMu.Lock()
+	delete(ep.in.udp, ep.addr.String())
+	ep.in.udpMu.Unlock()
+	ep.mu.Lock()
+	ep.closed = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,466 @@
+// Package packet implements a gopacket-inspired layered packet model:
+// packets decode lazily into a stack of Layers (Ethernet, IPv4, TCP, UDP,
+// and application payloads including DNS and TLS ClientHello), and layers
+// serialise back to bytes. The device network stack synthesises packets
+// for its capture tap, which the pcap package persists in libpcap format.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Layer types known to the decoder.
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypePayload
+)
+
+// String names the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is one decoded protocol layer, in the spirit of gopacket.Layer.
+type Layer interface {
+	// LayerType returns the layer's type.
+	LayerType() LayerType
+	// LayerContents returns the bytes that form this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries for the next one.
+	LayerPayload() []byte
+}
+
+// Decoding errors.
+var (
+	ErrTooShort    = errors.New("packet: truncated layer")
+	ErrBadVersion  = errors.New("packet: unsupported IP version")
+	ErrBadIHL      = errors.New("packet: bad IPv4 header length")
+	ErrBadProtocol = errors.New("packet: unsupported transport protocol")
+)
+
+// EtherType values used by the simulation.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+)
+
+// IP protocol numbers.
+const (
+	IPProtoTCP uint8 = 6
+	IPProtoUDP uint8 = 17
+)
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	SrcMAC, DstMAC net.HardwareAddr
+	EtherType      uint16
+	contents       []byte
+	payload        []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerContents implements Layer.
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+func decodeEthernet(data []byte) (*Ethernet, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("ethernet: %w", ErrTooShort)
+	}
+	return &Ethernet{
+		DstMAC:    net.HardwareAddr(append([]byte(nil), data[0:6]...)),
+		SrcMAC:    net.HardwareAddr(append([]byte(nil), data[6:12]...)),
+		EtherType: binary.BigEndian.Uint16(data[12:14]),
+		contents:  data[:14],
+		payload:   data[14:],
+	}, nil
+}
+
+func (e *Ethernet) serialize() []byte {
+	b := make([]byte, 14)
+	copy(b[0:6], e.DstMAC)
+	copy(b[6:12], e.SrcMAC)
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return b
+}
+
+// IPv4 is an IPv4 header (options unsupported on encode, skipped on
+// decode).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    net.IP
+	DstIP    net.IP
+	Length   uint16
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerContents implements Layer.
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+func decodeIPv4(data []byte) (*IPv4, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("ipv4: %w", ErrTooShort)
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("ipv4: version %d: %w", v, ErrBadVersion)
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < 20 || ihl > len(data) {
+		return nil, ErrBadIHL
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		total = len(data) // tolerate padded frames
+	}
+	return &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		TTL:      data[8],
+		Protocol: data[9],
+		SrcIP:    net.IP(append([]byte(nil), data[12:16]...)),
+		DstIP:    net.IP(append([]byte(nil), data[16:20]...)),
+		Length:   uint16(total),
+		contents: data[:ihl],
+		payload:  data[ihl:total],
+	}, nil
+}
+
+func (ip *IPv4) serialize(payloadLen int) []byte {
+	b := make([]byte, 20)
+	b[0] = 0x45
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(20+payloadLen))
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	b[8] = ip.TTL
+	if b[8] == 0 {
+		b[8] = 64
+	}
+	b[9] = ip.Protocol
+	copy(b[12:16], ip.SrcIP.To4())
+	copy(b[16:20], ip.DstIP.To4())
+	binary.BigEndian.PutUint16(b[10:12], ipChecksum(b))
+	return b
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// TCP is a TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	SYN, ACK, FIN, RST, PSH bool
+	Window           uint16
+	contents         []byte
+	payload          []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerContents implements Layer.
+func (t *TCP) LayerContents() []byte { return t.contents }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+func decodeTCP(data []byte) (*TCP, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("tcp: %w", ErrTooShort)
+	}
+	off := int(data[12]>>4) * 4
+	if off < 20 || off > len(data) {
+		return nil, fmt.Errorf("tcp: bad data offset: %w", ErrTooShort)
+	}
+	flags := data[13]
+	return &TCP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Seq:      binary.BigEndian.Uint32(data[4:8]),
+		Ack:      binary.BigEndian.Uint32(data[8:12]),
+		FIN:      flags&0x01 != 0,
+		SYN:      flags&0x02 != 0,
+		RST:      flags&0x04 != 0,
+		PSH:      flags&0x08 != 0,
+		ACK:      flags&0x10 != 0,
+		Window:   binary.BigEndian.Uint16(data[14:16]),
+		contents: data[:off],
+		payload:  data[off:],
+	}, nil
+}
+
+func (t *TCP) serialize() []byte {
+	b := make([]byte, 20)
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4
+	var flags byte
+	if t.FIN {
+		flags |= 0x01
+	}
+	if t.SYN {
+		flags |= 0x02
+	}
+	if t.RST {
+		flags |= 0x04
+	}
+	if t.PSH {
+		flags |= 0x08
+	}
+	if t.ACK {
+		flags |= 0x10
+	}
+	b[13] = flags
+	if t.Window == 0 {
+		t.Window = 65535
+	}
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	return b
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	contents         []byte
+	payload          []byte
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerContents implements Layer.
+func (u *UDP) LayerContents() []byte { return u.contents }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+func decodeUDP(data []byte) (*UDP, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("udp: %w", ErrTooShort)
+	}
+	return &UDP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Length:   binary.BigEndian.Uint16(data[4:6]),
+		contents: data[:8],
+		payload:  data[8:],
+	}, nil
+}
+
+func (u *UDP) serialize(payloadLen int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(8+payloadLen))
+	return b
+}
+
+// Payload is a raw application-layer layer.
+type Payload []byte
+
+// LayerType implements Layer.
+func (p Payload) LayerType() LayerType { return LayerTypePayload }
+
+// LayerContents implements Layer.
+func (p Payload) LayerContents() []byte { return p }
+
+// LayerPayload implements Layer.
+func (p Payload) LayerPayload() []byte { return nil }
+
+// Packet is a decoded packet: the raw bytes plus the layer stack.
+type Packet struct {
+	data   []byte
+	layers []Layer
+	err    error
+}
+
+// Decode parses data as Ethernet/IPv4/{TCP,UDP}/Payload. Decoding is
+// greedy but forgiving: an undecodable inner layer leaves the outer
+// layers intact and records the error.
+func Decode(data []byte) *Packet {
+	p := &Packet{data: data}
+	eth, err := decodeEthernet(data)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.layers = append(p.layers, eth)
+	if eth.EtherType != EtherTypeIPv4 {
+		if len(eth.LayerPayload()) > 0 {
+			p.layers = append(p.layers, Payload(eth.LayerPayload()))
+		}
+		return p
+	}
+	ip, err := decodeIPv4(eth.LayerPayload())
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.layers = append(p.layers, ip)
+	switch ip.Protocol {
+	case IPProtoTCP:
+		tcp, err := decodeTCP(ip.LayerPayload())
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.layers = append(p.layers, tcp)
+		if len(tcp.LayerPayload()) > 0 {
+			p.layers = append(p.layers, Payload(tcp.LayerPayload()))
+		}
+	case IPProtoUDP:
+		udp, err := decodeUDP(ip.LayerPayload())
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.layers = append(p.layers, udp)
+		if len(udp.LayerPayload()) > 0 {
+			p.layers = append(p.layers, Payload(udp.LayerPayload()))
+		}
+	default:
+		p.err = fmt.Errorf("protocol %d: %w", ip.Protocol, ErrBadProtocol)
+	}
+	return p
+}
+
+// Data returns the raw packet bytes.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns the decoded layer stack.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// ErrorLayer returns the decode error, if any.
+func (p *Packet) ErrorLayer() error { return p.err }
+
+// String summarises the packet one layer per segment.
+func (p *Packet) String() string {
+	s := ""
+	for i, l := range p.layers {
+		if i > 0 {
+			s += "/"
+		}
+		s += l.LayerType().String()
+	}
+	if p.err != nil {
+		s += fmt.Sprintf("(err: %v)", p.err)
+	}
+	return s
+}
+
+var defaultMAC = net.HardwareAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+var gatewayMAC = net.HardwareAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0xFE}
+
+// Serialize builds packet bytes from a layer stack specification.
+// Ethernet addresses default to fixed device/gateway MACs if unset.
+func Serialize(eth *Ethernet, ip *IPv4, transport Layer, payload []byte) ([]byte, error) {
+	if eth == nil {
+		eth = &Ethernet{}
+	}
+	if len(eth.SrcMAC) == 0 {
+		eth.SrcMAC = defaultMAC
+	}
+	if len(eth.DstMAC) == 0 {
+		eth.DstMAC = gatewayMAC
+	}
+	eth.EtherType = EtherTypeIPv4
+	if ip == nil {
+		return nil, errors.New("packet: Serialize requires an IPv4 layer")
+	}
+	if ip.SrcIP.To4() == nil || ip.DstIP.To4() == nil {
+		return nil, errors.New("packet: Serialize requires IPv4 addresses")
+	}
+
+	var tbytes []byte
+	switch tr := transport.(type) {
+	case *TCP:
+		ip.Protocol = IPProtoTCP
+		tbytes = tr.serialize()
+	case *UDP:
+		ip.Protocol = IPProtoUDP
+		tbytes = tr.serialize(len(payload))
+	default:
+		return nil, fmt.Errorf("packet: unsupported transport layer %T", transport)
+	}
+
+	inner := len(tbytes) + len(payload)
+	out := eth.serialize()
+	out = append(out, ip.serialize(inner)...)
+	out = append(out, tbytes...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// TCPPacket is a convenience constructor for a TCP data packet.
+func TCPPacket(src, dst net.IP, srcPort, dstPort uint16, flagsSYN, flagsACK bool, payload []byte) ([]byte, error) {
+	return Serialize(nil,
+		&IPv4{SrcIP: src, DstIP: dst, TTL: 64},
+		&TCP{SrcPort: srcPort, DstPort: dstPort, SYN: flagsSYN, ACK: flagsACK, PSH: len(payload) > 0},
+		payload)
+}
+
+// UDPPacket is a convenience constructor for a UDP datagram packet.
+func UDPPacket(src, dst net.IP, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	return Serialize(nil,
+		&IPv4{SrcIP: src, DstIP: dst, TTL: 64},
+		&UDP{SrcPort: srcPort, DstPort: dstPort},
+		payload)
+}

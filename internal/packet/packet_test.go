@@ -1,0 +1,244 @@
+package packet
+
+import (
+	"bytes"
+	"crypto/tls"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCPPacketRoundTrip(t *testing.T) {
+	src, dst := net.IPv4(192, 168, 1, 100), net.IPv4(20, 0, 0, 1)
+	payload := []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	raw, err := TCPPacket(src, dst, 40000, 80, false, true, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(raw)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer())
+	}
+	eth, ok := p.Layer(LayerTypeEthernet).(*Ethernet)
+	if !ok || eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("ethernet layer = %+v", eth)
+	}
+	ip, ok := p.Layer(LayerTypeIPv4).(*IPv4)
+	if !ok || !ip.SrcIP.Equal(src) || !ip.DstIP.Equal(dst) || ip.Protocol != IPProtoTCP {
+		t.Fatalf("ipv4 layer = %+v", ip)
+	}
+	tcp, ok := p.Layer(LayerTypeTCP).(*TCP)
+	if !ok || tcp.SrcPort != 40000 || tcp.DstPort != 80 || !tcp.ACK || tcp.SYN {
+		t.Fatalf("tcp layer = %+v", tcp)
+	}
+	pl, ok := p.Layer(LayerTypePayload).(Payload)
+	if !ok || !bytes.Equal(pl, payload) {
+		t.Fatalf("payload = %q", pl)
+	}
+}
+
+func TestUDPPacketRoundTrip(t *testing.T) {
+	raw, err := UDPPacket(net.IPv4(1, 2, 3, 4), net.IPv4(5, 6, 7, 8), 5353, 53, []byte("dnsq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(raw)
+	udp, ok := p.Layer(LayerTypeUDP).(*UDP)
+	if !ok || udp.SrcPort != 5353 || udp.DstPort != 53 || udp.Length != 12 {
+		t.Fatalf("udp layer = %+v", udp)
+	}
+	if pl := p.Layer(LayerTypePayload).(Payload); string(pl) != "dnsq" {
+		t.Fatalf("payload = %q", pl)
+	}
+}
+
+func TestSYNFlag(t *testing.T) {
+	raw, _ := TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, true, false, nil)
+	p := Decode(raw)
+	tcp := p.Layer(LayerTypeTCP).(*TCP)
+	if !tcp.SYN || tcp.ACK || tcp.PSH {
+		t.Fatalf("flags = %+v", tcp)
+	}
+	if p.Layer(LayerTypePayload) != nil {
+		t.Fatal("payload layer on empty SYN")
+	}
+}
+
+func TestIPChecksumValid(t *testing.T) {
+	raw, _ := TCPPacket(net.IPv4(9, 9, 9, 9), net.IPv4(8, 8, 8, 8), 1234, 443, true, false, nil)
+	hdr := raw[14:34]
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	if sum != 0xFFFF {
+		t.Fatalf("header checksum does not verify: %#x", sum)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	raw, _ := TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, false, true, []byte("xyz"))
+	for _, cut := range []int{0, 5, 13, 20, 30} {
+		if cut >= len(raw) {
+			continue
+		}
+		p := Decode(raw[:cut])
+		if cut < 14 && p.ErrorLayer() == nil {
+			t.Errorf("cut %d: no error", cut)
+		}
+	}
+}
+
+func TestDecodeNonIPv4EtherType(t *testing.T) {
+	frame := make([]byte, 20)
+	frame[12], frame[13] = 0x86, 0xDD // IPv6
+	p := Decode(frame)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("unexpected error: %v", p.ErrorLayer())
+	}
+	if p.Layer(LayerTypeIPv4) != nil {
+		t.Fatal("decoded IPv4 from IPv6 frame")
+	}
+	if p.Layer(LayerTypePayload) == nil {
+		t.Fatal("no raw payload layer")
+	}
+}
+
+func TestDecodeBadIPVersion(t *testing.T) {
+	raw, _ := TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, true, false, nil)
+	raw[14] = 0x65 // version 6 claimed in IPv4 slot
+	if Decode(raw).ErrorLayer() == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	raw, _ := TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, false, true, []byte("x"))
+	p := Decode(raw)
+	if got := p.String(); got != "Ethernet/IPv4/TCP/Payload" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSerializeValidation(t *testing.T) {
+	if _, err := Serialize(nil, nil, &TCP{}, nil); err == nil {
+		t.Fatal("nil IP accepted")
+	}
+	if _, err := Serialize(nil, &IPv4{SrcIP: net.ParseIP("::1"), DstIP: net.IPv4(1, 1, 1, 1)}, &TCP{}, nil); err == nil {
+		t.Fatal("IPv6 source accepted")
+	}
+	if _, err := Serialize(nil, &IPv4{SrcIP: net.IPv4(1, 1, 1, 1), DstIP: net.IPv4(2, 2, 2, 2)}, Payload("x"), nil); err == nil {
+		t.Fatal("bad transport layer accepted")
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if LayerTypeTCP.String() != "TCP" || LayerType(99).String() != "LayerType(99)" {
+		t.Fatal("LayerType.String wrong")
+	}
+}
+
+// Property: serialize→decode recovers ports, addresses and payload for
+// arbitrary payload content.
+func TestPropertyTCPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		src, dst := net.IPv4(10, 0, 0, 1), net.IPv4(20, 0, 0, 2)
+		raw, err := TCPPacket(src, dst, sp, dp, false, true, payload)
+		if err != nil {
+			return false
+		}
+		p := Decode(raw)
+		tcp, ok := p.Layer(LayerTypeTCP).(*TCP)
+		if !ok || tcp.SrcPort != sp || tcp.DstPort != dp {
+			return false
+		}
+		var got []byte
+		if pl, ok := p.Layer(LayerTypePayload).(Payload); ok {
+			got = pl
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic: %v", r)
+			}
+		}()
+		Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNIFromRealClientHello(t *testing.T) {
+	// Capture the client's first flight of a real crypto/tls handshake.
+	clientEnd, serverEnd := net.Pipe()
+	firstFlight := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16384)
+		n, _ := serverEnd.Read(buf)
+		firstFlight <- buf[:n]
+		serverEnd.Close()
+	}()
+	c := tls.Client(clientEnd, &tls.Config{ServerName: "sni.example.com", InsecureSkipVerify: true})
+	go c.Handshake() // will fail when the "server" closes; we only need the hello
+	hello := <-firstFlight
+	clientEnd.Close()
+
+	sni, err := SNIFromClientHello(hello)
+	if err != nil {
+		t.Fatalf("SNI extraction: %v", err)
+	}
+	if sni != "sni.example.com" {
+		t.Fatalf("sni = %q", sni)
+	}
+}
+
+func TestSNIRejectsNonTLS(t *testing.T) {
+	if _, err := SNIFromClientHello([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Fatal("HTTP accepted as ClientHello")
+	}
+	if _, err := SNIFromClientHello(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// Property: SNI parser never panics on arbitrary bytes.
+func TestPropertySNINeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic: %v", r)
+			}
+		}()
+		SNIFromClientHello(data)
+		// Also try with a forced TLS record prefix to reach deeper code.
+		forced := append([]byte{22, 3, 1, 0, byte(len(data))}, data...)
+		SNIFromClientHello(forced)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	raw, _ := TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 40000, 443, false, true,
+		bytes.Repeat([]byte("x"), 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(raw)
+	}
+}

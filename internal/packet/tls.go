@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// TLS ClientHello inspection: enough of the TLS record and handshake
+// framing to pull the SNI out of a captured first flight, which is how a
+// passive observer (and our capture analysis) attributes encrypted flows
+// to hostnames without decrypting them.
+
+// ErrNotClientHello reports that the bytes are not a TLS ClientHello.
+var ErrNotClientHello = errors.New("packet: not a TLS ClientHello")
+
+// SNIFromClientHello extracts the server_name extension value from raw
+// TLS bytes (one or more records starting with the ClientHello record).
+func SNIFromClientHello(data []byte) (string, error) {
+	// TLS record header: type(1)=22 handshake, version(2), length(2).
+	if len(data) < 5 || data[0] != 22 {
+		return "", ErrNotClientHello
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if 5+recLen > len(data) {
+		recLen = len(data) - 5 // tolerate truncated capture
+	}
+	hs := data[5 : 5+recLen]
+	// Handshake header: type(1)=1 client_hello, length(3).
+	if len(hs) < 4 || hs[0] != 1 {
+		return "", ErrNotClientHello
+	}
+	body := hs[4:]
+	// client_version(2) random(32)
+	if len(body) < 34 {
+		return "", ErrNotClientHello
+	}
+	p := 34
+	// session_id
+	if p >= len(body) {
+		return "", ErrNotClientHello
+	}
+	p += 1 + int(body[p])
+	// cipher_suites
+	if p+2 > len(body) {
+		return "", ErrNotClientHello
+	}
+	p += 2 + int(binary.BigEndian.Uint16(body[p:]))
+	// compression_methods
+	if p+1 > len(body) {
+		return "", ErrNotClientHello
+	}
+	p += 1 + int(body[p])
+	// extensions
+	if p+2 > len(body) {
+		return "", ErrNotClientHello
+	}
+	extLen := int(binary.BigEndian.Uint16(body[p:]))
+	p += 2
+	end := p + extLen
+	if end > len(body) {
+		end = len(body)
+	}
+	for p+4 <= end {
+		extType := binary.BigEndian.Uint16(body[p:])
+		l := int(binary.BigEndian.Uint16(body[p+2:]))
+		p += 4
+		if p+l > end {
+			return "", ErrNotClientHello
+		}
+		if extType == 0 { // server_name
+			ext := body[p : p+l]
+			if len(ext) < 2 {
+				return "", ErrNotClientHello
+			}
+			listLen := int(binary.BigEndian.Uint16(ext))
+			q := 2
+			for q+3 <= 2+listLen && q+3 <= len(ext) {
+				nameType := ext[q]
+				nameLen := int(binary.BigEndian.Uint16(ext[q+1:]))
+				q += 3
+				if q+nameLen > len(ext) {
+					return "", ErrNotClientHello
+				}
+				if nameType == 0 {
+					return string(ext[q : q+nameLen]), nil
+				}
+				q += nameLen
+			}
+			return "", ErrNotClientHello
+		}
+		p += l
+	}
+	return "", ErrNotClientHello
+}

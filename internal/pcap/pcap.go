@@ -1,0 +1,160 @@
+// Package pcap reads and writes libpcap-format capture files
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat), the artefact
+// format the paper's testbed stores alongside its flow databases. Files
+// written here open in Wireshark/tcpdump and decode with internal/packet.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers for microsecond-resolution little-endian pcap.
+const (
+	magicLE       = 0xA1B2C3D4
+	versionMajor  = 2
+	versionMinor  = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+)
+
+// ErrBadMagic reports a file that is not a little-endian µs pcap.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Record is one captured packet with its timestamp.
+type Record struct {
+	Time time.Time
+	Data []byte
+	// OrigLen is the packet's original length; equal to len(Data) unless
+	// the capture truncated it.
+	OrigLen int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	started bool
+}
+
+// NewWriter creates a Writer with the given snap length (0 means 262144).
+func NewWriter(w io.Writer, snaplen uint32) *Writer {
+	if snaplen == 0 {
+		snaplen = 262144
+	}
+	return &Writer{w: w, snaplen: snaplen}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(hdr[16:], w.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one packet record.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return fmt.Errorf("pcap: write header: %w", err)
+		}
+		w.started = true
+	}
+	capLen := uint32(len(data))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(data[:capLen]); err != nil {
+		return fmt.Errorf("pcap: write record data: %w", err)
+	}
+	return nil
+}
+
+// Flush writes the file header even if no packets were recorded, so an
+// empty capture is still a valid pcap file.
+func (w *Writer) Flush() error {
+	if !w.started {
+		w.started = true
+		return w.writeHeader()
+	}
+	return nil
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r       io.Reader
+	snaplen uint32
+}
+
+// NewReader validates the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicLE {
+		return nil, ErrBadMagic
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{r: r, snaplen: binary.LittleEndian.Uint32(hdr[16:])}, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	usec := binary.LittleEndian.Uint32(hdr[4:])
+	capLen := binary.LittleEndian.Uint32(hdr[8:])
+	origLen := binary.LittleEndian.Uint32(hdr[12:])
+	if capLen > r.snaplen+65536 {
+		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: read record data: %w", err)
+	}
+	return Record{
+		Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,156 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"panoptes/internal/packet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	ts := time.Date(2023, 5, 12, 9, 0, 0, 123456000, time.UTC)
+	p1, _ := packet.TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, true, false, nil)
+	p2, _ := packet.UDPPacket(net.IPv4(3, 3, 3, 3), net.IPv4(4, 4, 4, 4), 53, 53, []byte("q"))
+	if err := w.WritePacket(ts, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(ts.Add(time.Second), p2); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !bytes.Equal(recs[0].Data, p1) || !bytes.Equal(recs[1].Data, p2) {
+		t.Fatal("packet bytes corrupted")
+	}
+	if !recs[0].Time.Equal(ts.Truncate(time.Microsecond)) {
+		t.Fatalf("timestamp = %v, want %v", recs[0].Time, ts)
+	}
+	if recs[1].OrigLen != len(p2) {
+		t.Fatalf("OrigLen = %d", recs[1].OrigLen)
+	}
+	// Records decode with the packet layer stack.
+	if packet.Decode(recs[0].Data).Layer(packet.LayerTypeTCP) == nil {
+		t.Fatal("record does not decode as TCP")
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 40)
+	big, _ := packet.TCPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, false, true,
+		bytes.Repeat([]byte("A"), 1000))
+	if err := w.WritePacket(time.Now(), big); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 40 {
+		t.Fatalf("captured %d bytes, want 40", len(rec.Data))
+	}
+	if rec.OrigLen != len(big) {
+		t.Fatalf("OrigLen = %d, want %d", rec.OrigLen, len(big))
+	}
+}
+
+func TestEmptyCaptureIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShortHeaderRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestTruncatedRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	p, _ := packet.UDPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, []byte("hello"))
+	w.WritePacket(time.Now(), p)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+// Property: any sequence of packets round-trips in order with intact bytes.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		base := time.Unix(1683900000, 0).UTC()
+		for i, pl := range payloads {
+			raw, err := packet.UDPPacket(net.IPv4(1, 1, 1, 1), net.IPv4(2, 2, 2, 2), 1, 2, pl)
+			if err != nil {
+				return false
+			}
+			if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), raw); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		recs, err := r.ReadAll()
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i, rec := range recs {
+			p := packet.Decode(rec.Data)
+			pl, _ := p.Layer(packet.LayerTypePayload).(packet.Payload)
+			if !bytes.Equal(pl, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

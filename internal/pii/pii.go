@@ -1,0 +1,247 @@
+// Package pii extracts Personally Identifying Information and
+// device-specific identifiers from captured native flows, reproducing
+// the paper's §3.3 methodology: keyword matching (via regular
+// expressions) and value heuristics over the URL parameters and bodies
+// of natively generated requests. Like the paper, it excludes the
+// Android version and device model reported in the User-Agent header,
+// which every vendor sends for compatibility.
+//
+// The result is Table 2: a browsers × attributes leak matrix.
+package pii
+
+import (
+	"encoding/base64"
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+
+	"panoptes/internal/capture"
+)
+
+// Attribute is one Table 2 column.
+type Attribute string
+
+// Attributes, in the paper's column order.
+const (
+	AttrDeviceType Attribute = "Device Type"
+	AttrDeviceManuf Attribute = "Device Manuf."
+	AttrTimezone   Attribute = "Timezone"
+	AttrResolution Attribute = "Resolution"
+	AttrLocalIP    Attribute = "Local IP"
+	AttrDPI        Attribute = "DPI"
+	AttrRooted     Attribute = "Rooted Status"
+	AttrLocale     Attribute = "Locale"
+	AttrCountry    Attribute = "Country"
+	AttrLocation   Attribute = "Location (lat & long)"
+	AttrConnType   Attribute = "Connection Type"
+	AttrNetType    Attribute = "Network Type"
+)
+
+// Columns returns the attributes in presentation order.
+func Columns() []Attribute {
+	return []Attribute{
+		AttrDeviceType, AttrDeviceManuf, AttrTimezone, AttrResolution,
+		AttrLocalIP, AttrDPI, AttrRooted, AttrLocale, AttrCountry,
+		AttrLocation, AttrConnType, AttrNetType,
+	}
+}
+
+// detector recognises one attribute by key pattern and/or value pattern.
+type detector struct {
+	attr Attribute
+	// keyPat matches a parameter/field name.
+	keyPat *regexp.Regexp
+	// valPat, when set, must also match the value (heuristics).
+	valPat *regexp.Regexp
+	// valOnly, when set, matches on value alone regardless of key.
+	valOnly *regexp.Regexp
+}
+
+var detectors = []detector{
+	{attr: AttrDeviceType,
+		keyPat: regexp.MustCompile(`(?i)^(device[_-]?type|devtype|form[_-]?factor)$`),
+		valPat: regexp.MustCompile(`(?i)^(phone|tablet|mobile)$`)},
+	{attr: AttrDeviceManuf,
+		keyPat: regexp.MustCompile(`(?i)^(manufacturer|device[_-]?vendor|brand|oem)$`)},
+	{attr: AttrTimezone,
+		keyPat: regexp.MustCompile(`(?i)^(tz|time[_-]?zone)$`)},
+	{attr: AttrTimezone,
+		valOnly: regexp.MustCompile(`^(Europe|America|Asia|Africa|Australia)/[A-Za-z_]+$`)},
+	{attr: AttrResolution,
+		keyPat: regexp.MustCompile(`(?i)^(resolution|screen[_-]?size|display)$`),
+		valPat: regexp.MustCompile(`^\d{3,4}[xX*]\d{3,4}$`)},
+	{attr: AttrResolution,
+		keyPat: regexp.MustCompile(`(?i)^(deviceScreenWidth|deviceScreenHeight|screen[_-]?(w|h|width|height))$`)},
+	{attr: AttrLocalIP,
+		keyPat: regexp.MustCompile(`(?i)^(local[_-]?ip|private[_-]?ip|lan[_-]?ip)$`),
+		valPat: regexp.MustCompile(`^(10\.|172\.(1[6-9]|2\d|3[01])\.|192\.168\.)\d{1,3}\.\d{1,3}$`)},
+	{attr: AttrDPI,
+		keyPat: regexp.MustCompile(`(?i)^(dpi|density|screen[_-]?density)$`),
+		valPat: regexp.MustCompile(`^\d{2,3}(\.\d+)?$`)},
+	{attr: AttrRooted,
+		keyPat: regexp.MustCompile(`(?i)^(rooted|is[_-]?rooted|root[_-]?status|jailbroken)$`),
+		valPat: regexp.MustCompile(`(?i)^(true|false|0|1|yes|no)$`)},
+	{attr: AttrLocale,
+		keyPat: regexp.MustCompile(`(?i)^(locale|lang(uage)?[_-]?code|hl)$`),
+		valPat: regexp.MustCompile(`^[a-zA-Z]{2}([_-][a-zA-Z]{2})?$`)},
+	{attr: AttrCountry,
+		keyPat: regexp.MustCompile(`(?i)^(country([_-]?code)?|cc|geo[_-]?country)$`),
+		valPat: regexp.MustCompile(`^[A-Za-z]{2}$`)},
+	{attr: AttrLocation,
+		keyPat: regexp.MustCompile(`(?i)^(lat(itude)?|lng|lon(gitude)?)$`),
+		valPat: regexp.MustCompile(`^-?\d{1,3}\.\d+$`)},
+	{attr: AttrConnType,
+		keyPat: regexp.MustCompile(`(?i)^(connection[_-]?type|conn[_-]?type|metered)$`),
+		valPat: regexp.MustCompile(`(?i)^(metered|unmetered|true|false)$`)},
+	{attr: AttrNetType,
+		keyPat: regexp.MustCompile(`(?i)^(network[_-]?type|net[_-]?type|radio|bearer)$`),
+		valPat: regexp.MustCompile(`(?i)^(wifi|cellular|4g|5g|lte|3g)$`)},
+}
+
+// Finding is one detected leak instance.
+type Finding struct {
+	Attribute Attribute
+	Browser   string
+	Host      string // destination of the leaking request
+	Key       string
+	Value     string
+	FlowID    int64
+}
+
+// jsonFieldPat pulls "key":"value" and "key":number pairs out of bodies
+// without a full JSON parse (the paper's keyword/regex methodology; it
+// also catches malformed or truncated bodies).
+var jsonFieldPat = regexp.MustCompile(`"([A-Za-z0-9_.-]+)"\s*:\s*("([^"]*)"|-?\d+(\.\d+)?|true|false)`)
+
+// ScanFlow inspects one flow's query parameters and body.
+func ScanFlow(f *capture.Flow) []Finding {
+	var out []Finding
+	emit := func(key, val string) {
+		for _, d := range detectors {
+			switch {
+			case d.valOnly != nil:
+				if d.valOnly.MatchString(val) {
+					out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
+						Host: f.Host, Key: key, Value: val, FlowID: f.ID})
+				}
+			case d.keyPat.MatchString(key):
+				if d.valPat == nil || d.valPat.MatchString(val) {
+					out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
+						Host: f.Host, Key: key, Value: val, FlowID: f.ID})
+				}
+			}
+		}
+	}
+
+	// URL query parameters.
+	if vals, err := url.ParseQuery(f.RawQuery); err == nil {
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, v := range vals[k] {
+				emit(k, v)
+				// Nested: a Base64 or %-escaped payload inside a value.
+				for _, dec := range decodeNested(v) {
+					for _, m := range jsonFieldPat.FindAllStringSubmatch(dec, -1) {
+						emit(m[1], strings.Trim(m[2], `"`))
+					}
+				}
+			}
+		}
+	}
+
+	// Body fields (JSON-ish).
+	body := string(f.Body)
+	for _, m := range jsonFieldPat.FindAllStringSubmatch(body, -1) {
+		emit(m[1], strings.Trim(m[2], `"`))
+	}
+	// Form-encoded bodies.
+	if strings.Contains(f.HeaderGet("Content-Type"), "x-www-form-urlencoded") {
+		if vals, err := url.ParseQuery(body); err == nil {
+			for k, vs := range vals {
+				for _, v := range vs {
+					emit(k, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// decodeNested tries %-unescape and Base64 on a value, returning any
+// plausible plaintext expansions.
+func decodeNested(v string) []string {
+	var out []string
+	if u, err := url.QueryUnescape(v); err == nil && u != v {
+		out = append(out, u)
+	}
+	for _, enc := range []*base64.Encoding{base64.StdEncoding, base64.URLEncoding, base64.RawStdEncoding, base64.RawURLEncoding} {
+		if len(v) >= 8 {
+			if d, err := enc.DecodeString(v); err == nil && printable(d) {
+				out = append(out, string(d))
+				break
+			}
+		}
+	}
+	return out
+}
+
+func printable(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for _, c := range b {
+		if c < 0x09 || (c > 0x0D && c < 0x20) || c > 0x7E {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix is Table 2: browser → attribute → leaked.
+type Matrix map[string]map[Attribute]bool
+
+// BuildMatrix scans a native-flow store and assembles the leak matrix
+// for the given browser names (rows appear even when nothing leaked).
+func BuildMatrix(native *capture.Store, browsers []string) (Matrix, []Finding) {
+	m := make(Matrix, len(browsers))
+	for _, b := range browsers {
+		m[b] = make(map[Attribute]bool)
+	}
+	var all []Finding
+	for _, f := range native.All() {
+		if f.Browser == "" {
+			continue
+		}
+		if _, ok := m[f.Browser]; !ok {
+			continue
+		}
+		fs := ScanFlow(f)
+		for _, find := range fs {
+			m[f.Browser][find.Attribute] = true
+		}
+		all = append(all, fs...)
+	}
+	return m, all
+}
+
+// Leaked reports a cell of the matrix.
+func (m Matrix) Leaked(browser string, a Attribute) bool {
+	row, ok := m[browser]
+	return ok && row[a]
+}
+
+// Count returns how many attributes a browser leaks.
+func (m Matrix) Count(browser string) int {
+	n := 0
+	for _, v := range m[browser] {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,240 @@
+// Package pki provides the certificate infrastructure for the simulation:
+// a "public web" certificate authority that signs the leaf certificates of
+// simulated websites and vendor backends, and the MITM proxy's private CA
+// whose root is installed into the Android device's trust store, exactly as
+// mitmproxy's CA is in the paper's testbed.
+//
+// Keys are ECDSA P-256 throughout: fast enough that tens of thousands of
+// real TLS handshakes over in-memory pipes stay cheap.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+)
+
+// CA is a certificate authority that can mint leaf certificates.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+
+	mu     sync.Mutex
+	serial int64
+	now    func() time.Time
+}
+
+// NewCA creates a self-signed root CA with the given common name.
+// now supplies certificate validity anchors; pass nil for time.Now.
+func NewCA(commonName string, now func() time.Time) (*CA, error) {
+	if now == nil {
+		now = time.Now
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject: pkix.Name{
+			CommonName:   commonName,
+			Organization: []string{"Panoptes Simulation"},
+		},
+		NotBefore:             now().Add(-time.Hour),
+		NotAfter:              now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		MaxPathLen:            1,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: self-sign CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse CA cert: %w", err)
+	}
+	return &CA{Cert: cert, Key: key, serial: 2, now: now}, nil
+}
+
+// Issue mints a leaf certificate for the given DNS names (and any IP
+// literals among them) and returns it as a tls.Certificate ready for use
+// in a tls.Config.
+func (ca *CA) Issue(names ...string) (tls.Certificate, error) {
+	if len(names) == 0 {
+		return tls.Certificate{}, fmt.Errorf("pki: Issue needs at least one name")
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: generate leaf key: %w", err)
+	}
+	ca.mu.Lock()
+	serial := ca.serial
+	ca.serial++
+	now := ca.now()
+	ca.mu.Unlock()
+
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial),
+		Subject:      pkix.Name{CommonName: names[0]},
+		NotBefore:    now.Add(-time.Hour),
+		NotAfter:     now.Add(2 * 365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	for _, n := range names {
+		if ip := net.ParseIP(n); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, n)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: sign leaf for %q: %w", names[0], err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("pki: parse leaf: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.Cert.Raw},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}, nil
+}
+
+// Pool returns a cert pool containing only this CA's root.
+func (ca *CA) Pool() *x509.CertPool {
+	p := x509.NewCertPool()
+	p.AddCert(ca.Cert)
+	return p
+}
+
+// TLSClientTemplate returns a client TLS config trusting only this CA,
+// with certificate validity checked against the supplied clock.
+func (ca *CA) TLSClientTemplate(now func() time.Time) *tls.Config {
+	return &tls.Config{RootCAs: ca.Pool(), Time: now}
+}
+
+// PEM returns the CA certificate PEM-encoded, as it would be exported for
+// installation into a device trust store.
+func (ca *CA) PEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.Cert.Raw})
+}
+
+// KeyPEM returns the CA private key PEM-encoded (PKCS#8).
+func (ca *CA) KeyPEM() ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(ca.Key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: marshal CA key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// LoadCA reconstructs a CA from PEM-encoded certificate and key, as a
+// long-running proxy reloads its identity across restarts.
+func LoadCA(certPEM, keyPEM []byte, now func() time.Time) (*CA, error) {
+	if now == nil {
+		now = time.Now
+	}
+	cb, _ := pem.Decode(certPEM)
+	if cb == nil || cb.Type != "CERTIFICATE" {
+		return nil, fmt.Errorf("pki: no certificate PEM block")
+	}
+	cert, err := x509.ParseCertificate(cb.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse CA certificate: %w", err)
+	}
+	kb, _ := pem.Decode(keyPEM)
+	if kb == nil || kb.Type != "PRIVATE KEY" {
+		return nil, fmt.Errorf("pki: no private-key PEM block")
+	}
+	key, err := x509.ParsePKCS8PrivateKey(kb.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse CA key: %w", err)
+	}
+	ecKey, ok := key.(*ecdsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("pki: CA key is %T, want ECDSA", key)
+	}
+	return &CA{Cert: cert, Key: ecKey, serial: time.Now().UnixNano(), now: now}, nil
+}
+
+// SPKIFingerprint returns the SHA-256 fingerprint of a certificate's
+// SubjectPublicKeyInfo, hex-encoded — the quantity certificate-pinning
+// apps pin.
+func SPKIFingerprint(cert *x509.Certificate) string {
+	sum := sha256.Sum256(cert.RawSubjectPublicKeyInfo)
+	return hex.EncodeToString(sum[:])
+}
+
+// PinSet is a set of acceptable SPKI fingerprints for a host, as embedded
+// in apps that use certificate pinning. A transparent MITM proxy cannot
+// satisfy a pin it does not hold the key for; in the paper this silently
+// suppresses some native requests (footnote 3).
+type PinSet struct {
+	mu   sync.RWMutex
+	pins map[string]map[string]bool // host -> fingerprint set
+}
+
+// NewPinSet returns an empty pin set.
+func NewPinSet() *PinSet {
+	return &PinSet{pins: make(map[string]map[string]bool)}
+}
+
+// Add pins host to the SPKI fingerprint of cert.
+func (ps *PinSet) Add(host string, cert *x509.Certificate) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	set, ok := ps.pins[host]
+	if !ok {
+		set = make(map[string]bool)
+		ps.pins[host] = set
+	}
+	set[SPKIFingerprint(cert)] = true
+}
+
+// Pinned reports whether host has any pins.
+func (ps *PinSet) Pinned(host string) bool {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return len(ps.pins[host]) > 0
+}
+
+// Verify checks the presented leaf certificate of host against the pins.
+// Hosts without pins always verify.
+func (ps *PinSet) Verify(host string, leaf *x509.Certificate) error {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	set, ok := ps.pins[host]
+	if !ok || len(set) == 0 {
+		return nil
+	}
+	if set[SPKIFingerprint(leaf)] {
+		return nil
+	}
+	return &PinViolationError{Host: host, Got: SPKIFingerprint(leaf)}
+}
+
+// PinViolationError reports a certificate-pinning failure.
+type PinViolationError struct {
+	Host string
+	Got  string
+}
+
+func (e *PinViolationError) Error() string {
+	return fmt.Sprintf("pki: certificate pin violation for %s (presented SPKI %s…)", e.Host, e.Got[:12])
+}

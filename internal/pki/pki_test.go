@@ -1,0 +1,186 @@
+package pki
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testNow() time.Time { return time.Date(2023, 5, 12, 9, 0, 0, 0, time.UTC) }
+
+func TestNewCASelfSigned(t *testing.T) {
+	ca, err := NewCA("Test Root", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Cert.IsCA {
+		t.Fatal("CA cert not marked CA")
+	}
+	if err := ca.Cert.CheckSignatureFrom(ca.Cert); err != nil {
+		t.Fatalf("self-signature invalid: %v", err)
+	}
+}
+
+func TestIssueVerifiesAgainstPool(t *testing.T) {
+	ca, err := NewCA("Test Root", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue("example.com", "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := x509.VerifyOptions{
+		Roots:       ca.Pool(),
+		DNSName:     "www.example.com",
+		CurrentTime: testNow(),
+	}
+	if _, err := leaf.Leaf.Verify(opts); err != nil {
+		t.Fatalf("leaf does not verify: %v", err)
+	}
+}
+
+func TestIssueRejectsEmptyNames(t *testing.T) {
+	ca, _ := NewCA("Test Root", testNow)
+	if _, err := ca.Issue(); err == nil {
+		t.Fatal("Issue with no names succeeded")
+	}
+}
+
+func TestIssueIPLiteral(t *testing.T) {
+	ca, _ := NewCA("Test Root", testNow)
+	leaf, err := ca.Issue("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaf.Leaf.IPAddresses) != 1 || !leaf.Leaf.IPAddresses[0].Equal(net.IPv4(10, 1, 2, 3)) {
+		t.Fatalf("IPAddresses = %v", leaf.Leaf.IPAddresses)
+	}
+}
+
+func TestSerialsDistinct(t *testing.T) {
+	ca, _ := NewCA("Test Root", testNow)
+	a, _ := ca.Issue("a.example")
+	b, _ := ca.Issue("b.example")
+	if a.Leaf.SerialNumber.Cmp(b.Leaf.SerialNumber) == 0 {
+		t.Fatal("duplicate serial numbers")
+	}
+}
+
+func TestWrongCARejected(t *testing.T) {
+	ca1, _ := NewCA("Root One", testNow)
+	ca2, _ := NewCA("Root Two", testNow)
+	leaf, _ := ca1.Issue("example.com")
+	opts := x509.VerifyOptions{Roots: ca2.Pool(), DNSName: "example.com", CurrentTime: testNow()}
+	if _, err := leaf.Leaf.Verify(opts); err == nil {
+		t.Fatal("leaf verified against the wrong root")
+	}
+}
+
+func TestPEMExport(t *testing.T) {
+	ca, _ := NewCA("Test Root", testNow)
+	pemBytes := ca.PEM()
+	if !strings.Contains(string(pemBytes), "BEGIN CERTIFICATE") {
+		t.Fatalf("PEM export malformed: %q", pemBytes[:40])
+	}
+}
+
+func TestTLSHandshakeOverPipe(t *testing.T) {
+	ca, _ := NewCA("Public Web Root", testNow)
+	leaf, err := ca.Issue("secure.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		s := tls.Server(server, &tls.Config{Certificates: []tls.Certificate{leaf}})
+		done <- s.Handshake()
+	}()
+	c := tls.Client(client, &tls.Config{
+		RootCAs:    ca.Pool(),
+		ServerName: "secure.example",
+		Time:       testNow,
+	})
+	if err := c.Handshake(); err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+}
+
+func TestSPKIFingerprintStableAcrossCerts(t *testing.T) {
+	ca, _ := NewCA("Test Root", testNow)
+	// Two certs for the same key would share a fingerprint; two different
+	// leaf keys must differ.
+	a, _ := ca.Issue("a.example")
+	b, _ := ca.Issue("b.example")
+	if SPKIFingerprint(a.Leaf) == SPKIFingerprint(b.Leaf) {
+		t.Fatal("distinct keys share an SPKI fingerprint")
+	}
+	if got := SPKIFingerprint(a.Leaf); got != SPKIFingerprint(a.Leaf) {
+		t.Fatalf("fingerprint not deterministic: %s", got)
+	}
+}
+
+func TestPinSetVerify(t *testing.T) {
+	ca, _ := NewCA("Vendor Root", testNow)
+	real, _ := ca.Issue("pinned.example")
+	mitmCA, _ := NewCA("mitmproxy", testNow)
+	fake, _ := mitmCA.Issue("pinned.example")
+
+	ps := NewPinSet()
+	if ps.Pinned("pinned.example") {
+		t.Fatal("empty set reports pinned")
+	}
+	ps.Add("pinned.example", real.Leaf)
+	if !ps.Pinned("pinned.example") {
+		t.Fatal("host not pinned after Add")
+	}
+	if err := ps.Verify("pinned.example", real.Leaf); err != nil {
+		t.Fatalf("real cert rejected: %v", err)
+	}
+	err := ps.Verify("pinned.example", fake.Leaf)
+	var pv *PinViolationError
+	if !errors.As(err, &pv) {
+		t.Fatalf("MITM cert accepted: %v", err)
+	}
+	if pv.Host != "pinned.example" {
+		t.Fatalf("violation host = %q", pv.Host)
+	}
+	// Unpinned hosts pass anything.
+	if err := ps.Verify("open.example", fake.Leaf); err != nil {
+		t.Fatalf("unpinned host rejected: %v", err)
+	}
+}
+
+func TestMITMInterceptionDetectedByPinning(t *testing.T) {
+	// End-to-end shape of paper footnote 3: an app pinning its vendor key
+	// refuses the transparent proxy's minted certificate.
+	public, _ := NewCA("Public Web Root", testNow)
+	vendorLeaf, _ := public.Issue("api.vendor.example")
+	mitm, _ := NewCA("mitmproxy CA", testNow)
+	minted, _ := mitm.Issue("api.vendor.example")
+
+	ps := NewPinSet()
+	ps.Add("api.vendor.example", vendorLeaf.Leaf)
+
+	if err := ps.Verify("api.vendor.example", minted.Leaf); err == nil {
+		t.Fatal("pinned app accepted the MITM certificate")
+	}
+}
+
+func BenchmarkIssueLeaf(b *testing.B) {
+	ca, _ := NewCA("Bench Root", testNow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Issue("bench.example"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+// Package profiles defines the 15 mobile browsers of the paper's dataset
+// (Table 1) as behaviour profiles. Each profile parameterises a browser
+// emulator: which instrumentation it supports (CDP or a Frida WebView
+// hook), how it resolves names (local stub vs third-party DoH — §3.2
+// finds an 8/7 split), which native requests it issues on every page
+// visit (phone-home history leaks, safe-browsing checks, telemetry,
+// third-party ad SDK beacons), which PII and device identifiers those
+// requests carry (Table 2), and how it phones home when idle (Figure 5).
+//
+// The numbers are calibrated so the analysis pipeline — which computes
+// everything from captured traffic, never from these labels — reproduces
+// the shape of the paper's figures: Edge and Yandex top the Fig. 2
+// native/engine ratio near 0.38–0.39, Kiwi's distinct native destinations
+// are ≈40 % ad-related (Fig. 3), QQ adds ≈42 % outgoing byte overhead
+// (Fig. 4), and the idle timelines split into exponential-then-plateau
+// versus Opera's news-feed-driven linear growth (Fig. 5).
+package profiles
+
+// Instrumentation selects how Panoptes instruments the browser.
+type Instrumentation string
+
+// Instrumentation modes.
+const (
+	InstrumentCDP   Instrumentation = "cdp"
+	InstrumentFrida Instrumentation = "frida"
+)
+
+// DNSMode selects the browser's resolver path.
+type DNSMode string
+
+// DNS modes.
+const (
+	DNSLocal         DNSMode = "local"
+	DNSDoHCloudflare DNSMode = "doh-cloudflare"
+	DNSDoHGoogle     DNSMode = "doh-google"
+)
+
+// NativeTemplate is one native request the browser issues on every page
+// visit. Query and Body support the placeholders {URL} (visited URL),
+// {URL_B64} (standard-Base64 of it), {URL_ESC} (percent-escaped),
+// {HOST} (visited hostname), and {UUID} (the browser's persistent
+// identifier).
+type NativeTemplate struct {
+	Host   string
+	Path   string
+	Method string // GET or POST
+	Query  string
+	Body   string
+}
+
+// PIILeaks mirrors Table 2's columns.
+type PIILeaks struct {
+	DeviceType bool
+	DeviceManuf bool
+	Timezone   bool
+	Resolution bool
+	LocalIP    bool
+	DPI        bool
+	Rooted     bool
+	Locale     bool
+	Country    bool
+	LatLong    bool
+	ConnType   bool
+	NetType    bool
+}
+
+// Any reports whether any attribute leaks.
+func (p PIILeaks) Any() bool {
+	return p.DeviceType || p.DeviceManuf || p.Timezone || p.Resolution ||
+		p.LocalIP || p.DPI || p.Rooted || p.Locale || p.Country ||
+		p.LatLong || p.ConnType || p.NetType
+}
+
+// IdleDest is one weighted idle phone-home destination.
+type IdleDest struct {
+	Host   string
+	Path   string
+	Weight float64 // relative share of idle requests
+}
+
+// Profile is one browser's full behaviour description.
+type Profile struct {
+	Name    string // display name, as in the paper's figures
+	Package string // Android package, source of the kernel UID
+	Version string // Table 1
+	ChromeUA string // Chromium version advertised in the UA
+
+	Instrumentation Instrumentation
+	DNS             DNSMode
+	HasIncognito    bool
+	// EngineAdBlock makes the web engine enforce an easylist-style filter
+	// (CocCoc ships one, §3.1) — ad embeds are blocked in the engine even
+	// though the app still talks to ad/analytics servers natively.
+	EngineAdBlock bool
+
+	// OnVisit fires once per page visit.
+	OnVisit []NativeTemplate
+	// VisitNoise adds generic telemetry beacons per visit, round-robin
+	// over NoiseHosts, each with NoiseBytes of POST body.
+	VisitNoise int
+	NoiseHosts []string
+	NoiseBytes int
+
+	// PII configures the per-visit device-info beacon.
+	PII        PIILeaks
+	PIICarrier string // destination host of the PII beacon ("" = none)
+
+	// LeaksFullURL marks browsers whose native requests carry the whole
+	// visited URL; InjectsScript marks UC's engine-side variant;
+	// PersistentID marks Yandex's durable identifier.
+	LeaksFullURL  bool
+	InjectsScript bool
+	PersistentID  bool
+
+	// Idle model: cumulative requests after t seconds idle is
+	//   C(t) = IdleBurst·(1−exp(−t/IdleTauSec)) + IdleRatePerMin·t/60.
+	IdleBurst      float64
+	IdleTauSec     float64
+	IdleRatePerMin float64
+	IdleDests      []IdleDest
+
+	// PinnedHosts certificate-pin their vendor endpoints; requests to
+	// them die on the MITM proxy (paper footnote 3).
+	PinnedHosts []string
+}
+
+// UserAgent renders the profile's UA string on the testbed device.
+func (p *Profile) UserAgent() string {
+	return "Mozilla/5.0 (Linux; Android 11; SM-T580) AppleWebKit/537.36 " +
+		"(KHTML, like Gecko) Chrome/" + p.ChromeUA + " Mobile Safari/537.36 " +
+		p.Name + "/" + p.Version
+}
+
+// All returns the 15 profiles in the paper's Table 1 order.
+func All() []*Profile {
+	return []*Profile{
+		Chrome(), Edge(), Opera(), Vivaldi(), Yandex(), Brave(), Samsung(),
+		QQ(), DuckDuckGo(), Dolphin(), Whale(), Mint(), Kiwi(), CocCoc(),
+		UCInternational(),
+	}
+}
+
+// ByName returns the named profile or nil.
+func ByName(name string) *Profile {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Chrome: the quiet baseline — safe-browsing and update checks only, no
+// PII beyond the UA, local... Chrome actually uses Google DoH.
+func Chrome() *Profile {
+	return &Profile{
+		Name: "Chrome", Package: "com.android.chrome", Version: "113.0.5672.77",
+		ChromeUA: "113.0.5672.77", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHGoogle, HasIncognito: true,
+		VisitNoise: 1, NoiseHosts: []string{"safebrowsing.googleapis.com"}, NoiseBytes: 60,
+		IdleBurst: 14, IdleTauSec: 15, IdleRatePerMin: 0.8,
+		IdleDests: []IdleDest{
+			{Host: "update.googleapis.com", Path: "/service/update2", Weight: 0.45},
+			{Host: "t0.gstatic.com", Path: "/faviconV2", Weight: 0.35},
+			{Host: "safebrowsing.googleapis.com", Path: "/v4/threatListUpdates", Weight: 0.2},
+		},
+	}
+}
+
+// Edge: reports every visited domain to the Bing API, heavy telemetry to
+// msn/microsoft endpoints plus adjust/outbrain/zemanta/scorecardresearch,
+// and leaks manufacturer/timezone/resolution/locale/connection/network
+// (Table 2). Fig. 2 ratio ≈ 0.38.
+func Edge() *Profile {
+	return &Profile{
+		Name: "Edge", Package: "com.microsoft.emmx", Version: "113.0.1774.38",
+		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHCloudflare, HasIncognito: true,
+		OnVisit: []NativeTemplate{
+			{Host: "api.bing.com", Path: "/search/suggestions", Method: "GET", Query: "q={HOST}&mkt=en-GR"},
+			{Host: "browser.events.data.msn.com", Path: "/OneCollector/1.0", Method: "POST",
+				Body: `{"name":"Microsoft.Edge.PageVisit","ver":"4.0"}`},
+		},
+		VisitNoise: 8,
+		NoiseHosts: []string{
+			"browser.events.data.msn.com", "edge.microsoft.com", "msn.com",
+			"config.edge.skype.com", "adjust.com", "outbrain.com", "zemanta.com",
+			"scorecardresearch.com", "ntp.msn.com", "assets.msn.com", "arc.msn.com",
+			"ris.api.iris.microsoft.com", "mobile.events.data.microsoft.com",
+			"vortex.data.microsoft.com", "settings-win.data.microsoft.com",
+			"c.bing.com", "th.bing.com", "fd.api.iris.microsoft.com",
+			"login.live.com", "smartscreen.microsoft.com",
+			"functional.events.data.microsoft.com", "nav.smartscreen.microsoft.com",
+		},
+		NoiseBytes: 70,
+		PII: PIILeaks{DeviceManuf: true, Timezone: true, Resolution: true,
+			Locale: true, ConnType: true, NetType: true},
+		PIICarrier: "browser.events.data.msn.com",
+		IdleBurst:  32, IdleTauSec: 18, IdleRatePerMin: 3.0,
+		IdleDests: []IdleDest{
+			{Host: "msn.com", Path: "/feed", Weight: 0.25},
+			{Host: "browser.events.data.msn.com", Path: "/OneCollector/1.0", Weight: 0.2},
+			{Host: "edge.microsoft.com", Path: "/components/update", Weight: 0.15},
+			{Host: "api.bing.com", Path: "/qsml", Weight: 0.12},
+			{Host: "adjust.com", Path: "/session", Weight: 0.08},
+			{Host: "outbrain.com", Path: "/widget", Weight: 0.07},
+			{Host: "zemanta.com", Path: "/usersync", Weight: 0.06},
+			{Host: "scorecardresearch.com", Path: "/b2", Weight: 0.07},
+		},
+	}
+}
+
+// Opera: reports every visited domain to Sitecheck, runs the OLeads ad
+// SDK whose requests carry latitude/longitude and the persistent operaId
+// (Listing 1), polls the news feed (linear idle growth), and talks to
+// doubleclick/appsflyer while idle.
+func Opera() *Profile {
+	return &Profile{
+		Name: "Opera", Package: "com.opera.browser", Version: "75.1.3978.72329",
+		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHCloudflare, HasIncognito: true,
+		OnVisit: []NativeTemplate{
+			{Host: "sitecheck2.opera.com", Path: "/api/v1/check", Method: "GET", Query: "host={HOST}"},
+			// The Listing 1 request: the OLeads ad SDK ships device and
+			// location data with the persistent operaId on every fetch.
+			{Host: "s-odx.oleads.com", Path: "/api/v1/sdk_fetch", Method: "POST",
+				Body: `{"channelId":"adxsdk_for_opera_ofa_final","countryCode":"GR","languageCode":"EL","appPackageName":"com.opera.browser","appVersion":"75.1.3978.72329","sdkVersion":"1.12.2","osType":"ANDROID","osVersion":"11","deviceVendor":"Samsung","deviceModel":"SM-T580","deviceScreenWidth":1200,"deviceScreenHeight":1920,"operaId":"{UUID}","connectionType":"WIFI","userConsent":"false","latitude":35.3387,"longitude":25.1442,"placementKey":"55694986489856","adCount":2,"floorPriceInCent":0,"supportedAdTypes":["SINGLE"],"supportedCreativeTypes":["BIG_CARD","DISPLAY_HTML_300x250","NATIVE_NEWSFLOW_1_IMAGE"]}`},
+		},
+		VisitNoise: 4,
+		NoiseHosts: []string{
+			"autoupdate.geo.opera.com", "news.opera-api.com", "appsflyersdk.com",
+			"doubleclick.net", "crashstats-collector.opera.com", "exchange.opera.com",
+			"cdn.opera-api.com", "features.opera-api.com", "sync.opera.com",
+			"push.opera.com", "update.opera.com", "suggestions.opera.com",
+			"thumbnails.opera.com",
+		},
+		NoiseBytes: 80,
+		PII: PIILeaks{DeviceManuf: true, Timezone: true, Resolution: true,
+			Locale: true, Country: true, LatLong: true, NetType: true},
+		PIICarrier: "s-odx.oleads.com",
+		// Linear idle growth: the news feed dominates; burst near zero.
+		IdleBurst: 4, IdleTauSec: 12, IdleRatePerMin: 6.5,
+		IdleDests: []IdleDest{
+			{Host: "news.opera-api.com", Path: "/feed", Weight: 0.52},
+			{Host: "doubleclick.net", Path: "/gampad/ads", Weight: 0.219},
+			{Host: "autoupdate.geo.opera.com", Path: "/check", Weight: 0.12},
+			{Host: "sitecheck2.opera.com", Path: "/api/v1/ping", Weight: 0.104},
+			{Host: "appsflyersdk.com", Path: "/api/v4/event", Weight: 0.017},
+			{Host: "s-odx.oleads.com", Path: "/api/v1/sdk_heartbeat", Weight: 0.02},
+		},
+	}
+}
+
+// Vivaldi: chatty sync/thumbnail traffic (Fig. 2 ratio above 1/3) but
+// only the screen resolution in Table 2.
+func Vivaldi() *Profile {
+	return &Profile{
+		Name: "Vivaldi", Package: "com.vivaldi.browser", Version: "6.0.2980.33",
+		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHCloudflare, HasIncognito: true,
+		VisitNoise: 9, NoiseHosts: []string{"update.vivaldi.com", "downloads.vivaldi.com"},
+		NoiseBytes: 70,
+		PII:        PIILeaks{Resolution: true},
+		PIICarrier: "update.vivaldi.com",
+		IdleBurst:  22, IdleTauSec: 14, IdleRatePerMin: 1.6,
+		IdleDests: []IdleDest{
+			{Host: "update.vivaldi.com", Path: "/update/check", Weight: 0.6},
+			{Host: "downloads.vivaldi.com", Path: "/thumbnails", Weight: 0.4},
+		},
+	}
+}
+
+// Yandex: the paper's headline case — every visit produces a Base64 copy
+// of the full URL to sba.yandex.net and a host+persistent-UUID report to
+// api.browser.yandex.ru, surviving cookie clears, IP changes, Tor.
+// Fig. 2 ratio ≈ 0.39, the field's highest.
+func Yandex() *Profile {
+	return &Profile{
+		Name: "Yandex", Package: "com.yandex.browser", Version: "23.3.7.24",
+		ChromeUA: "110.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSLocal, HasIncognito: false,
+		OnVisit: []NativeTemplate{
+			{Host: "sba.yandex.net", Path: "/safebrowsing/check", Method: "GET", Query: "url={URL_B64}&fmt=b64"},
+			{Host: "api.browser.yandex.ru", Path: "/report/visit", Method: "GET", Query: "host={HOST}&uuid={UUID}"},
+		},
+		VisitNoise: 10,
+		NoiseHosts: []string{
+			"mc.yandex.ru", "favicon.yandex.net", "doubleclick.net", "adfox.ru",
+			"browser-updates.yandex.net", "translate.yandex.net",
+			"suggest.yandex.net", "push.yandex.ru", "zen.yandex.ru",
+			"startpage.yandex.com",
+		},
+		NoiseBytes: 60,
+		PII: PIILeaks{DeviceType: true, DeviceManuf: true, Resolution: true,
+			DPI: true, Locale: true, NetType: true},
+		PIICarrier:   "api.browser.yandex.ru",
+		LeaksFullURL: true, PersistentID: true,
+		IdleBurst: 30, IdleTauSec: 16, IdleRatePerMin: 2.2,
+		IdleDests: []IdleDest{
+			{Host: "favicon.yandex.net", Path: "/favicon", Weight: 0.42},
+			{Host: "mc.yandex.ru", Path: "/watch", Weight: 0.3},
+			{Host: "api.browser.yandex.ru", Path: "/config", Weight: 0.28},
+		},
+	}
+}
+
+// Brave: the quietest profile, matching its all-No Table 2 row.
+func Brave() *Profile {
+	return &Profile{
+		Name: "Brave", Package: "com.brave.browser", Version: "1.51.114",
+		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHCloudflare, HasIncognito: true,
+		VisitNoise: 1, NoiseHosts: []string{"variations.brave.com"}, NoiseBytes: 30,
+		IdleBurst: 8, IdleTauSec: 12, IdleRatePerMin: 0.5,
+		IdleDests: []IdleDest{
+			{Host: "variations.brave.com", Path: "/seed", Weight: 0.5},
+			{Host: "go-updater.brave.com", Path: "/extensions", Weight: 0.5},
+		},
+	}
+}
+
+// Samsung Internet: locale-only Table 2 row, moderate telemetry.
+func Samsung() *Profile {
+	return &Profile{
+		Name: "Samsung", Package: "com.sec.android.app.sbrowser", Version: "20.0.6.5",
+		ChromeUA: "111.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHCloudflare, HasIncognito: true,
+		VisitNoise: 2, NoiseHosts: []string{"api.internet.apps.samsung.com"}, NoiseBytes: 80,
+		PII:        PIILeaks{Locale: true},
+		PIICarrier: "api.internet.apps.samsung.com",
+		IdleBurst:  16, IdleTauSec: 15, IdleRatePerMin: 1.0,
+		IdleDests: []IdleDest{
+			{Host: "api.internet.apps.samsung.com", Path: "/v3/config", Weight: 1},
+		},
+	}
+}
+
+// QQ: leaks the full visited URL in POST bodies to wup.browser.qq.com
+// and pads its reports heavily — the Fig. 4 outlier at ≈42 % extra
+// outgoing bytes. No incognito mode. One vendor endpoint is pinned.
+func QQ() *Profile {
+	return &Profile{
+		Name: "QQ", Package: "com.tencent.mtt", Version: "13.7.6.6042",
+		ChromeUA: "108.0.0.0", Instrumentation: InstrumentFrida,
+		DNS: DNSLocal, HasIncognito: false,
+		OnVisit: []NativeTemplate{
+			{Host: "wup.browser.qq.com", Path: "/report/url", Method: "POST",
+				Body: `{"url":"{URL}","guid":"{UUID}","qua2":"QV=3&PL=ADR&PR=QB&VE=GA&VN=13.7.6.6042"}`},
+		},
+		VisitNoise: 9,
+		NoiseHosts: []string{
+			"mtt.browser.qq.com", "cloud.browser.qq.com", "pubmatic.com",
+			"res.imtt.qq.com", "pms.mb.qq.com", "cdn1.browser.qq.com",
+		},
+		NoiseBytes: 220, // heavily padded telemetry: the Fig. 4 byte-volume outlier
+		PII:        PIILeaks{DeviceType: true, DeviceManuf: true, Resolution: true},
+		PIICarrier: "wup.browser.qq.com",
+		LeaksFullURL: true,
+		IdleBurst:    24, IdleTauSec: 15, IdleRatePerMin: 1.8,
+		IdleDests: []IdleDest{
+			{Host: "mtt.browser.qq.com", Path: "/metrics", Weight: 0.6},
+			{Host: "wup.browser.qq.com", Path: "/heartbeat", Weight: 0.4},
+		},
+		PinnedHosts: []string{"cloud.browser.qq.com"},
+	}
+}
+
+// DuckDuckGo: minimal native traffic.
+func DuckDuckGo() *Profile {
+	return &Profile{
+		Name: "DuckDuckGo", Package: "com.duckduckgo.mobile.android", Version: "5.158.0",
+		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSLocal, HasIncognito: true,
+		VisitNoise: 2, NoiseHosts: []string{"improving.duckduckgo.com", "staticcdn.duckduckgo.com"},
+		NoiseBytes: 70,
+		IdleBurst:  7, IdleTauSec: 10, IdleRatePerMin: 0.6,
+		IdleDests: []IdleDest{
+			{Host: "staticcdn.duckduckgo.com", Path: "/trackerblocking/tds.json", Weight: 0.7},
+			{Host: "improving.duckduckgo.com", Path: "/t/m_app_usage", Weight: 0.3},
+		},
+	}
+}
+
+// Dolphin: a WebView browser whose idle traffic is dominated (46 %) by
+// Facebook Graph API calls.
+func Dolphin() *Profile {
+	return &Profile{
+		Name: "Dolphin", Package: "mobi.mgeek.TunnyBrowser", Version: "12.2.9",
+		ChromeUA: "95.0.0.0", Instrumentation: InstrumentFrida,
+		DNS: DNSLocal, HasIncognito: true,
+		VisitNoise: 5,
+		NoiseHosts: []string{
+			"api.dolphin-browser.com", "graph.facebook.com", "mixpanel.com",
+			"sync.dolphin-browser.com", "push.dolphin-browser.com",
+			"cdn.dolphin-browser.com",
+		},
+		NoiseBytes: 80,
+		IdleBurst:  12, IdleTauSec: 14, IdleRatePerMin: 2.4,
+		IdleDests: []IdleDest{
+			{Host: "graph.facebook.com", Path: "/v12.0/app_events", Weight: 0.46},
+			{Host: "api.dolphin-browser.com", Path: "/v1/sync", Weight: 0.38},
+			{Host: "mixpanel.com", Path: "/track", Weight: 0.16},
+		},
+	}
+}
+
+// Whale (Naver): leaks the device's local IP, rooted status, network
+// type and country (Table 2) — the most device-revealing row.
+func Whale() *Profile {
+	return &Profile{
+		Name: "Whale", Package: "com.naver.whale", Version: "2.10.2.2",
+		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHGoogle, HasIncognito: true,
+		VisitNoise: 9, NoiseHosts: []string{"api-whale.naver.com"}, NoiseBytes: 70,
+		PII: PIILeaks{Resolution: true, LocalIP: true, Rooted: true,
+			Locale: true, Country: true, NetType: true},
+		PIICarrier: "api-whale.naver.com",
+		IdleBurst:  20, IdleTauSec: 16, IdleRatePerMin: 1.4,
+		IdleDests: []IdleDest{
+			{Host: "api-whale.naver.com", Path: "/config/update", Weight: 1},
+		},
+	}
+}
+
+// Mint (Xiaomi): timezone/resolution/locale/country leaks; 8 % of its
+// idle requests go to Facebook Graph.
+func Mint() *Profile {
+	return &Profile{
+		Name: "Mint", Package: "com.mi.globalbrowser.mini", Version: "3.9.3",
+		ChromeUA: "100.0.0.0", Instrumentation: InstrumentFrida,
+		DNS: DNSLocal, HasIncognito: true,
+		VisitNoise: 4,
+		NoiseHosts: []string{
+			"api.mintbrowser.com", "appsflyer.com", "news.mintbrowser.com",
+			"data.mistat.intl.xiaomi.com", "update.intl.miui.com",
+		},
+		NoiseBytes: 80,
+		PII: PIILeaks{Timezone: true, Resolution: true, Locale: true, Country: true},
+		PIICarrier: "api.mintbrowser.com",
+		IdleBurst:  14, IdleTauSec: 13, IdleRatePerMin: 1.2,
+		IdleDests: []IdleDest{
+			{Host: "api.mintbrowser.com", Path: "/news/cards", Weight: 0.76},
+			{Host: "graph.facebook.com", Path: "/v12.0/app_events", Weight: 0.08},
+			{Host: "appsflyer.com", Path: "/api/v4/event", Weight: 0.16},
+		},
+	}
+}
+
+// Kiwi: few native requests, but ≈40 % of its distinct native
+// destinations are ad/analytics servers — the Fig. 3 outlier.
+func Kiwi() *Profile {
+	return &Profile{
+		Name: "Kiwi", Package: "com.kiwibrowser.browser", Version: "112.0.5615.137",
+		ChromeUA: "112.0.5615.137", Instrumentation: InstrumentCDP,
+		DNS: DNSDoHGoogle, HasIncognito: true,
+		VisitNoise: 3,
+		NoiseHosts: []string{
+			"update.kiwibrowser.com", "t0.gstatic.com", "update.googleapis.com",
+			"safebrowsing.googleapis.com", "clients4.google.com",
+			"redirector.gvt1.com", "storage.googleusercontent.com",
+			"check.googlezip.net",
+			"rubiconproject.com", "adnxs.com", "openx.net",
+			"pubmatic.com", "bidswitch.net", "demdex.net",
+		},
+		NoiseBytes: 70,
+		IdleBurst:  10, IdleTauSec: 12, IdleRatePerMin: 0.9,
+		IdleDests: []IdleDest{
+			{Host: "update.kiwibrowser.com", Path: "/check", Weight: 0.6},
+			{Host: "t0.gstatic.com", Path: "/faviconV2", Weight: 0.4},
+		},
+	}
+}
+
+// CocCoc: an ad-blocking browser (easylist in the engine) that still
+// talks to adjust.com natively and leaks device type, manufacturer,
+// resolution, locale and country.
+func CocCoc() *Profile {
+	return &Profile{
+		Name: "CocCoc", Package: "com.coccoc.trinhduyet", Version: "117.0.177",
+		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		DNS: DNSLocal, HasIncognito: true,
+		EngineAdBlock: true,
+		VisitNoise:    8,
+		NoiseHosts: []string{
+			"api.coccoc.com", "spell.itim.vn", "adjust.com", "newtab.coccoc.com",
+			"log.coccoc.com", "gg.coccoc.com", "qc.coccoc.com", "dicts.itim.vn",
+		},
+		NoiseBytes: 70,
+		PII: PIILeaks{DeviceType: true, DeviceManuf: true, Resolution: true,
+			Locale: true, Country: true},
+		PIICarrier: "api.coccoc.com",
+		IdleBurst:  18, IdleTauSec: 15, IdleRatePerMin: 1.5,
+		IdleDests: []IdleDest{
+			{Host: "api.coccoc.com", Path: "/newtab", Weight: 0.633},
+			{Host: "spell.itim.vn", Path: "/dict/update", Weight: 0.3},
+			{Host: "adjust.com", Path: "/session", Weight: 0.067},
+		},
+	}
+}
+
+// UCInternational: leaks the browsing history not through native
+// requests but through an obfuscated JavaScript snippet injected into
+// every page, whose beacon reports the full URL plus city-level
+// geolocation and ISP to gjapi.ucweb.com (§3.2). Instrumented via Frida.
+func UCInternational() *Profile {
+	return &Profile{
+		Name: "UC International", Package: "com.UCMobile.intl", Version: "13.4.2.1307",
+		ChromeUA: "100.0.0.0", Instrumentation: InstrumentFrida,
+		DNS: DNSLocal, HasIncognito: true,
+		VisitNoise: 4, NoiseHosts: []string{"puds.ucweb.com"}, NoiseBytes: 80,
+		PII:           PIILeaks{Locale: true, NetType: true},
+		PIICarrier:    "puds.ucweb.com",
+		LeaksFullURL:  true, // via the injected script, not native requests
+		InjectsScript: true,
+		IdleBurst:     11, IdleTauSec: 13, IdleRatePerMin: 1.1,
+		IdleDests: []IdleDest{
+			{Host: "puds.ucweb.com", Path: "/upgrade/check", Weight: 1},
+		},
+	}
+}

@@ -1,0 +1,267 @@
+package profiles
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFifteenBrowsers(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("profiles = %d, want 15 (Table 1)", len(all))
+	}
+	names := map[string]bool{}
+	pkgs := map[string]bool{}
+	for _, p := range all {
+		if names[p.Name] {
+			t.Errorf("duplicate name %s", p.Name)
+		}
+		if pkgs[p.Package] {
+			t.Errorf("duplicate package %s", p.Package)
+		}
+		names[p.Name] = true
+		pkgs[p.Package] = true
+	}
+}
+
+func TestTable1Versions(t *testing.T) {
+	// The paper's Table 1, verbatim.
+	want := map[string]string{
+		"Chrome": "113.0.5672.77", "DuckDuckGo": "5.158.0",
+		"Edge": "113.0.1774.38", "Dolphin": "12.2.9",
+		"Opera": "75.1.3978.72329", "Whale": "2.10.2.2",
+		"Vivaldi": "6.0.2980.33", "Mint": "3.9.3",
+		"Yandex": "23.3.7.24", "Kiwi": "112.0.5615.137",
+		"Brave": "1.51.114", "CocCoc": "117.0.177",
+		"Samsung": "20.0.6.5", "UC International": "13.4.2.1307",
+		"QQ": "13.7.6.6042",
+	}
+	for name, version := range want {
+		p := ByName(name)
+		if p == nil {
+			t.Errorf("profile %s missing", name)
+			continue
+		}
+		if p.Version != version {
+			t.Errorf("%s version = %s, want %s", name, p.Version, version)
+		}
+	}
+	if ByName("Firefox") != nil {
+		t.Error("Firefox must be excluded (incompatible instrumentation, §3)")
+	}
+}
+
+func TestDNSSplitEightSeven(t *testing.T) {
+	doh, local := 0, 0
+	for _, p := range All() {
+		switch p.DNS {
+		case DNSDoHCloudflare, DNSDoHGoogle:
+			doh++
+		case DNSLocal:
+			local++
+		default:
+			t.Errorf("%s: unknown DNS mode %q", p.Name, p.DNS)
+		}
+	}
+	if doh != 8 || local != 7 {
+		t.Fatalf("doh=%d local=%d, want 8/7 (§3.2)", doh, local)
+	}
+}
+
+func TestIncognitoAvailability(t *testing.T) {
+	for _, p := range All() {
+		wantNo := p.Name == "Yandex" || p.Name == "QQ"
+		if p.HasIncognito == wantNo {
+			t.Errorf("%s HasIncognito = %v (footnote 5)", p.Name, p.HasIncognito)
+		}
+	}
+}
+
+func TestFullURLLeakers(t *testing.T) {
+	leakers := map[string]bool{}
+	for _, p := range All() {
+		if p.LeaksFullURL {
+			leakers[p.Name] = true
+		}
+	}
+	for _, want := range []string{"Yandex", "QQ", "UC International"} {
+		if !leakers[want] {
+			t.Errorf("%s should leak full URLs", want)
+		}
+	}
+	if len(leakers) != 3 {
+		t.Errorf("full-URL leakers = %v, want exactly 3", leakers)
+	}
+	if !ByName("UC International").InjectsScript {
+		t.Error("UC must leak via script injection")
+	}
+	if ByName("Yandex").InjectsScript || ByName("QQ").InjectsScript {
+		t.Error("only UC injects a script")
+	}
+	if !ByName("Yandex").PersistentID {
+		t.Error("Yandex carries the persistent identifier")
+	}
+}
+
+func TestInstrumentationModes(t *testing.T) {
+	frida := map[string]bool{}
+	for _, p := range All() {
+		switch p.Instrumentation {
+		case InstrumentCDP:
+		case InstrumentFrida:
+			frida[p.Name] = true
+		default:
+			t.Errorf("%s: bad instrumentation %q", p.Name, p.Instrumentation)
+		}
+	}
+	// The WebView-based browsers use the Frida path; UC is called out
+	// explicitly in §2.3.
+	if !frida["UC International"] {
+		t.Error("UC must use Frida")
+	}
+	if frida["Chrome"] || frida["Edge"] {
+		t.Error("Chromium flagships support CDP")
+	}
+}
+
+func TestPIIMatchesTable2Flags(t *testing.T) {
+	// Spot-check the distinctive rows.
+	whale := ByName("Whale").PII
+	if !whale.LocalIP || !whale.Rooted {
+		t.Error("Whale must leak local IP and rooted status")
+	}
+	opera := ByName("Opera").PII
+	if !opera.LatLong || !opera.Country {
+		t.Error("Opera must leak lat/long and country")
+	}
+	if opera.ConnType {
+		t.Error("Opera Connection Type is No in Table 2")
+	}
+	yandex := ByName("Yandex").PII
+	if !yandex.DPI {
+		t.Error("Yandex is the only DPI leaker")
+	}
+	for _, clean := range []string{"Chrome", "Brave", "DuckDuckGo", "Dolphin", "Kiwi"} {
+		if ByName(clean).PII.Any() {
+			t.Errorf("%s should have an all-No Table 2 row", clean)
+		}
+	}
+	// Browsers with PII must name a carrier.
+	for _, p := range All() {
+		if p.PII.Any() && p.PIICarrier == "" {
+			t.Errorf("%s leaks PII but has no carrier", p.Name)
+		}
+	}
+}
+
+func TestIdleModelsSane(t *testing.T) {
+	for _, p := range All() {
+		if p.IdleBurst < 0 || p.IdleTauSec <= 0 || p.IdleRatePerMin < 0 {
+			t.Errorf("%s: bad idle params %+v", p.Name, p)
+		}
+		if len(p.IdleDests) == 0 {
+			t.Errorf("%s: no idle destinations", p.Name)
+		}
+		var total float64
+		for _, d := range p.IdleDests {
+			if d.Weight <= 0 || d.Host == "" {
+				t.Errorf("%s: bad idle dest %+v", p.Name, d)
+			}
+			total += d.Weight
+		}
+		if total < 0.9 || total > 1.1 {
+			t.Errorf("%s: idle weights sum %.3f, want ≈1", p.Name, total)
+		}
+	}
+	// Opera's idle model is rate-dominated (linear); most others are
+	// burst-dominated over 10 minutes.
+	opera := ByName("Opera")
+	if opera.IdleRatePerMin*10 < opera.IdleBurst*2 {
+		t.Error("Opera idle should be rate-dominated (linear growth)")
+	}
+	chrome := ByName("Chrome")
+	if chrome.IdleBurst < chrome.IdleRatePerMin*2 {
+		t.Error("Chrome idle should be burst-dominated")
+	}
+}
+
+func TestIdleFacebookShares(t *testing.T) {
+	// Fig. 5: Dolphin 46% and Mint 8% of idle requests go to Facebook
+	// Graph; CocCoc 6.7% to adjust; Opera 21.9% to doubleclick.
+	share := func(name, host string) float64 {
+		var total, w float64
+		for _, d := range ByName(name).IdleDests {
+			total += d.Weight
+			if d.Host == host {
+				w += d.Weight
+			}
+		}
+		return w / total
+	}
+	checks := []struct {
+		browser, host string
+		want          float64
+	}{
+		{"Dolphin", "graph.facebook.com", 0.46},
+		{"Mint", "graph.facebook.com", 0.08},
+		{"CocCoc", "adjust.com", 0.067},
+		{"Opera", "doubleclick.net", 0.219},
+	}
+	for _, c := range checks {
+		got := share(c.browser, c.host)
+		if got < c.want-0.02 || got > c.want+0.02 {
+			t.Errorf("%s idle share to %s = %.3f, want %.3f", c.browser, c.host, got, c.want)
+		}
+	}
+}
+
+func TestUserAgents(t *testing.T) {
+	for _, p := range All() {
+		ua := p.UserAgent()
+		for _, must := range []string{"Android 11", "SM-T580", "Chrome/", p.Version} {
+			if !strings.Contains(ua, must) {
+				t.Errorf("%s UA missing %q: %s", p.Name, must, ua)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("Netscape") != nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestCocCocAdBlocks(t *testing.T) {
+	if !ByName("CocCoc").EngineAdBlock {
+		t.Error("CocCoc ships an engine ad blocker (§3.1)")
+	}
+	for _, p := range All() {
+		if p.Name != "CocCoc" && p.EngineAdBlock {
+			t.Errorf("%s should not ad-block", p.Name)
+		}
+	}
+}
+
+func TestQQPinsAVendorHost(t *testing.T) {
+	if len(ByName("QQ").PinnedHosts) == 0 {
+		t.Error("QQ should pin a vendor endpoint (footnote 3 modelling)")
+	}
+}
+
+func TestYandexTemplates(t *testing.T) {
+	y := ByName("Yandex")
+	var sba, api bool
+	for _, tpl := range y.OnVisit {
+		if tpl.Host == "sba.yandex.net" && strings.Contains(tpl.Query, "{URL_B64}") {
+			sba = true
+		}
+		if tpl.Host == "api.browser.yandex.ru" &&
+			strings.Contains(tpl.Query, "{HOST}") && strings.Contains(tpl.Query, "{UUID}") {
+			api = true
+		}
+	}
+	if !sba || !api {
+		t.Errorf("Yandex templates wrong: sba=%v api=%v", sba, api)
+	}
+}

@@ -1,0 +1,311 @@
+// Package vendorsim hosts the vendor-side backends the browsers' native
+// services talk to: Yandex's safe-browsing and visit-reporting APIs (RU),
+// QQ's report collector (CN), UC International's injected-script and
+// geolocation beacon servers (CA), Opera's Sitecheck / news feed / OLeads
+// ad SDK, Microsoft's Bing API and telemetry, Facebook's Graph API, the
+// Cloudflare and Google DoH resolvers, and a generic update/telemetry
+// endpoint per vendor.
+//
+// Every backend keeps a request log, so leak findings from the Panoptes
+// capture databases can be cross-checked against what the remote server
+// actually received — including that servers in RU, CN and CA received
+// full browsing histories from an EU vantage point (§3.4).
+package vendorsim
+
+import (
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"panoptes/internal/dnssim"
+	"panoptes/internal/netsim"
+	"panoptes/internal/pki"
+)
+
+// LoggedRequest is one request a backend received.
+type LoggedRequest struct {
+	Time   time.Time
+	Method string
+	Path   string
+	Query  string
+	Body   string
+}
+
+// Backend is one hosted vendor endpoint.
+type Backend struct {
+	Host    string
+	Country string
+
+	mu   sync.Mutex
+	reqs []LoggedRequest
+}
+
+// Requests returns a copy of the log.
+func (b *Backend) Requests() []LoggedRequest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]LoggedRequest, len(b.reqs))
+	copy(out, b.reqs)
+	return out
+}
+
+// Count returns the number of requests received.
+func (b *Backend) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.reqs)
+}
+
+// record logs a request and returns it.
+func (b *Backend) record(r *http.Request, now func() time.Time) LoggedRequest {
+	body := ""
+	if r.Body != nil {
+		data, _ := io.ReadAll(io.LimitReader(r.Body, 64*1024))
+		body = string(data)
+	}
+	lr := LoggedRequest{
+		Time: now(), Method: r.Method, Path: r.URL.Path,
+		Query: r.URL.RawQuery, Body: body,
+	}
+	b.mu.Lock()
+	b.reqs = append(b.reqs, lr)
+	b.mu.Unlock()
+	return lr
+}
+
+// hostSpec describes a backend to bring up.
+type hostSpec struct {
+	host    string
+	country string
+}
+
+// backendHosts is every vendor endpoint and its hosting country. The
+// countries matter: §3.4 geolocates the phone-home receivers.
+var backendHosts = []hostSpec{
+	// Yandex — Russia.
+	{"sba.yandex.net", "RU"},
+	{"api.browser.yandex.ru", "RU"},
+	{"mc.yandex.ru", "RU"},
+	{"favicon.yandex.net", "RU"},
+	{"browser-updates.yandex.net", "RU"},
+	{"translate.yandex.net", "RU"},
+	{"suggest.yandex.net", "RU"},
+	{"push.yandex.ru", "RU"},
+	{"zen.yandex.ru", "RU"},
+	{"startpage.yandex.com", "RU"},
+	{"adfox.ru", "RU"},
+	// QQ (Tencent) — China.
+	{"wup.browser.qq.com", "CN"},
+	{"cloud.browser.qq.com", "CN"},
+	{"mtt.browser.qq.com", "CN"},
+	{"res.imtt.qq.com", "CN"},
+	{"pms.mb.qq.com", "CN"},
+	{"cdn1.browser.qq.com", "CN"},
+	// UC International — Canada.
+	{"ucgjs.ucweb.com", "CA"},
+	{"gjapi.ucweb.com", "CA"},
+	{"puds.ucweb.com", "CA"},
+	// Opera — Norway (ad SDK backend s-odx.oleads.com hosted in the US).
+	{"sitecheck2.opera.com", "NO"},
+	{"news.opera-api.com", "NO"},
+	{"autoupdate.geo.opera.com", "NO"},
+	{"crashstats-collector.opera.com", "NO"},
+	{"exchange.opera.com", "NO"},
+	{"cdn.opera-api.com", "NO"},
+	{"features.opera-api.com", "NO"},
+	{"sync.opera.com", "NO"},
+	{"push.opera.com", "NO"},
+	{"update.opera.com", "NO"},
+	{"suggestions.opera.com", "NO"},
+	{"thumbnails.opera.com", "NO"},
+	{"s-odx.oleads.com", "US"},
+	// Microsoft / Edge — United States.
+	{"api.bing.com", "US"},
+	{"browser.events.data.msn.com", "US"},
+	{"msn.com", "US"},
+	{"edge.microsoft.com", "US"},
+	{"config.edge.skype.com", "US"},
+	{"ntp.msn.com", "US"},
+	{"assets.msn.com", "US"},
+	{"arc.msn.com", "US"},
+	{"ris.api.iris.microsoft.com", "US"},
+	{"mobile.events.data.microsoft.com", "US"},
+	{"vortex.data.microsoft.com", "US"},
+	{"settings-win.data.microsoft.com", "US"},
+	{"c.bing.com", "US"},
+	{"th.bing.com", "US"},
+	{"fd.api.iris.microsoft.com", "US"},
+	{"login.live.com", "US"},
+	{"smartscreen.microsoft.com", "US"},
+	{"functional.events.data.microsoft.com", "US"},
+	{"nav.smartscreen.microsoft.com", "US"},
+	// Facebook Graph — United States.
+	{"graph.facebook.com", "US"},
+	// Google / Chrome — United States.
+	{"update.googleapis.com", "US"},
+	{"safebrowsing.googleapis.com", "US"},
+	{"t0.gstatic.com", "US"},
+	{"clients4.google.com", "US"},
+	{"redirector.gvt1.com", "US"},
+	{"storage.googleusercontent.com", "US"},
+	{"check.googlezip.net", "US"},
+	// DoH resolvers — United States.
+	{"cloudflare-dns.com", "US"},
+	{"dns.google", "US"},
+	// Brave — United States.
+	{"variations.brave.com", "US"},
+	{"go-updater.brave.com", "US"},
+	// DuckDuckGo — United States.
+	{"improving.duckduckgo.com", "US"},
+	{"staticcdn.duckduckgo.com", "US"},
+	// Dolphin — United States.
+	{"api.dolphin-browser.com", "US"},
+	{"sync.dolphin-browser.com", "US"},
+	{"push.dolphin-browser.com", "US"},
+	{"cdn.dolphin-browser.com", "US"},
+	// Kiwi — United States.
+	{"update.kiwibrowser.com", "US"},
+	// Samsung Internet — South Korea.
+	{"api.internet.apps.samsung.com", "KR"},
+	// Whale (Naver) — South Korea.
+	{"api-whale.naver.com", "KR"},
+	// Mint (Xiaomi) — Singapore.
+	{"api.mintbrowser.com", "SG"},
+	{"news.mintbrowser.com", "SG"},
+	{"data.mistat.intl.xiaomi.com", "SG"},
+	{"update.intl.miui.com", "SG"},
+	// CocCoc — Vietnam.
+	{"api.coccoc.com", "VN"},
+	{"spell.itim.vn", "VN"},
+	{"newtab.coccoc.com", "VN"},
+	{"log.coccoc.com", "VN"},
+	{"gg.coccoc.com", "VN"},
+	{"qc.coccoc.com", "VN"},
+	{"dicts.itim.vn", "VN"},
+	// Vivaldi — Norway.
+	{"update.vivaldi.com", "NO"},
+	{"downloads.vivaldi.com", "NO"},
+}
+
+// Vendors is the running backend fleet.
+type Vendors struct {
+	backends map[string]*Backend
+	servers  []*http.Server
+	// DoHCloudflare and DoHGoogle expose the resolvers' query logs.
+	DoHCloudflare *dnssim.Handler
+	DoHGoogle     *dnssim.Handler
+	now           func() time.Time
+}
+
+// Setup hosts every backend on the virtual internet with certificates
+// from the public CA. now supplies log timestamps (pass the virtual
+// clock's Now).
+func Setup(inet *netsim.Internet, ca *pki.CA, now func() time.Time) (*Vendors, error) {
+	if now == nil {
+		now = time.Now
+	}
+	v := &Vendors{backends: make(map[string]*Backend), now: now}
+	v.DoHCloudflare = dnssim.NewHandler(inet)
+	v.DoHGoogle = dnssim.NewHandler(inet)
+
+	for _, spec := range backendHosts {
+		b := &Backend{Host: spec.host, Country: spec.country}
+		v.backends[spec.host] = b
+		handler := v.handlerFor(b)
+		l, _, err := inet.ListenDomain(spec.host, spec.country, 443)
+		if err != nil {
+			return nil, fmt.Errorf("vendorsim: host %s: %w", spec.host, err)
+		}
+		cert, err := ca.Issue(spec.host)
+		if err != nil {
+			return nil, fmt.Errorf("vendorsim: certificate for %s: %w", spec.host, err)
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{cert}}))
+		v.servers = append(v.servers, srv)
+	}
+	return v, nil
+}
+
+// handlerFor wires per-host behaviour on top of the logging backend.
+func (v *Vendors) handlerFor(b *Backend) http.Handler {
+	switch b.Host {
+	case "cloudflare-dns.com":
+		return v.logWrap(b, v.DoHCloudflare)
+	case "dns.google":
+		return v.logWrap(b, v.DoHGoogle)
+	case "ucgjs.ucweb.com":
+		// Serves the obfuscated injected snippet.
+		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/javascript")
+			io.WriteString(w, ucInjectedSnippet)
+		}))
+	case "news.opera-api.com":
+		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"articles":[{"id":%d,"title":"sim"},{"id":%d,"title":"sim"}]}`,
+				b.Count(), b.Count()+1)
+		}))
+	case "s-odx.oleads.com":
+		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"ads":[{"type":"BIG_CARD","cpm":120},{"type":"DISPLAY_HTML_300x250","cpm":85}]}`)
+		}))
+	default:
+		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"ok":true}`)
+		}))
+	}
+}
+
+// logWrap records every request before delegating. The body is re-buffered
+// so the inner handler can still read it.
+func (v *Vendors) logWrap(b *Backend, inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lr := b.record(r, v.now)
+		if lr.Body != "" {
+			r.Body = io.NopCloser(strings.NewReader(lr.Body))
+			r.ContentLength = int64(len(lr.Body))
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// Backend returns the handle for a hosted endpoint, or nil.
+func (v *Vendors) Backend(host string) *Backend {
+	return v.backends[host]
+}
+
+// Hosts returns every hosted backend host, sorted.
+func (v *Vendors) Hosts() []string {
+	out := make([]string, 0, len(v.backends))
+	for h := range v.backends {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops all servers.
+func (v *Vendors) Close() {
+	for _, s := range v.servers {
+		s.Close()
+	}
+}
+
+// ucInjectedSnippet is the stand-in for UC International's obfuscated
+// injected JavaScript (paper §3.2): the engine "executes" it by issuing
+// the beacon it encodes.
+const ucInjectedSnippet = `(function(){var _0x4f=['\x68\x72\x65\x66','\x6c\x6f\x63'];` +
+	`var u=encodeURIComponent(location[_0x4f[0]]);` +
+	`new Image().src='https://gjapi.ucweb.com/collect?u='+u+'&city={CITY}&isp={ISP}&cc={CC}';})();`
+
+// UCInjectedSnippet exposes the snippet for the engine's injection point.
+func UCInjectedSnippet() string { return ucInjectedSnippet }
+

@@ -1,0 +1,190 @@
+package vendorsim
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"panoptes/internal/dnsmsg"
+	"panoptes/internal/netsim"
+	"panoptes/internal/pki"
+)
+
+func setup(t *testing.T) (*Vendors, *http.Client, *netsim.Internet) {
+	t.Helper()
+	inet := netsim.New()
+	ca, err := pki.NewCA("Public Web Root", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Setup(inet, ca, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return inet.Dial(ctx, addr)
+		},
+		TLSClientConfig: ca.TLSClientTemplate(nil),
+	}}
+	return v, client, inet
+}
+
+func TestAllBackendsReachable(t *testing.T) {
+	v, client, _ := setup(t)
+	for _, host := range v.Hosts() {
+		resp, err := client.Get("https://" + host + "/ping")
+		if err != nil {
+			t.Errorf("%s: %v", host, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// The DoH endpoints reject a bare GET (no dns parameter) but must
+		// still be reachable and logged.
+		isDoH := host == "cloudflare-dns.com" || host == "dns.google"
+		if !isDoH && resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", host, resp.StatusCode)
+		}
+		if isDoH && resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400 for bare GET", host, resp.StatusCode)
+		}
+		if v.Backend(host).Count() != 1 {
+			t.Errorf("%s: count = %d", host, v.Backend(host).Count())
+		}
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	v, client, _ := setup(t)
+	resp, err := client.Post("https://wup.browser.qq.com/report/url", "application/json",
+		strings.NewReader(`{"url":"https://secret.example/page?q=1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reqs := v.Backend("wup.browser.qq.com").Requests()
+	if len(reqs) != 1 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	r := reqs[0]
+	if r.Method != "POST" || r.Path != "/report/url" ||
+		!strings.Contains(r.Body, "secret.example") {
+		t.Fatalf("logged = %+v", r)
+	}
+}
+
+func TestVendorCountries(t *testing.T) {
+	v, _, inet := setup(t)
+	// §3.4's critical geolocations.
+	want := map[string]string{
+		"sba.yandex.net":        "RU",
+		"api.browser.yandex.ru": "RU",
+		"wup.browser.qq.com":    "CN",
+		"gjapi.ucweb.com":       "CA",
+		"ucgjs.ucweb.com":       "CA",
+		"sitecheck2.opera.com":  "NO",
+		"api.bing.com":          "US",
+		"graph.facebook.com":    "US",
+	}
+	blocks := inet.Blocks()
+	countryOf := func(ip net.IP) string {
+		for _, b := range blocks {
+			if b.CIDR.Contains(ip) {
+				return b.Country
+			}
+		}
+		return ""
+	}
+	for host, country := range want {
+		if v.Backend(host) == nil {
+			t.Errorf("%s not hosted", host)
+			continue
+		}
+		if got := v.Backend(host).Country; got != country {
+			t.Errorf("%s declared country = %s, want %s", host, got, country)
+		}
+		ip, err := inet.LookupHost(host)
+		if err != nil {
+			t.Errorf("%s: %v", host, err)
+			continue
+		}
+		if got := countryOf(ip); got != country {
+			t.Errorf("%s allocated in %s, want %s", host, got, country)
+		}
+	}
+}
+
+func TestUCSnippetServed(t *testing.T) {
+	v, client, _ := setup(t)
+	resp, err := client.Get("https://ucgjs.ucweb.com/gj.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != UCInjectedSnippet() {
+		t.Fatal("snippet mismatch")
+	}
+	if !strings.Contains(string(body), "gjapi.ucweb.com/collect") {
+		t.Fatal("snippet does not reference the beacon endpoint")
+	}
+	_ = v
+}
+
+func TestOperaNewsFeed(t *testing.T) {
+	_, client, _ := setup(t)
+	resp, err := client.Get("https://news.opera-api.com/feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "articles") {
+		t.Fatalf("feed = %s", body)
+	}
+}
+
+func TestDoHEndpointsWired(t *testing.T) {
+	v, client, inet := setup(t)
+	inet.RegisterDomain("doh-target.example", "US")
+	// POST a real DNS query to Cloudflare's endpoint.
+	q := buildQuery(t, "doh-target.example")
+	resp, err := client.Post("https://cloudflare-dns.com/dns-query",
+		"application/dns-message", strings.NewReader(string(q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("doh status = %d", resp.StatusCode)
+	}
+	names := v.DoHCloudflare.QueriedNames()
+	if len(names) != 1 || names[0] != "doh-target.example" {
+		t.Fatalf("cloudflare saw %v", names)
+	}
+	if len(v.DoHGoogle.QueriedNames()) != 0 {
+		t.Fatal("google DoH saw stray queries")
+	}
+}
+
+func TestBackendUnknownHost(t *testing.T) {
+	v, _, _ := setup(t)
+	if v.Backend("nonexistent.example") != nil {
+		t.Fatal("unknown backend returned")
+	}
+}
+
+func buildQuery(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := dnsmsg.NewQuery(1, name, dnsmsg.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

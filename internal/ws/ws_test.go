@@ -1,0 +1,361 @@
+package ws
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"panoptes/internal/netsim"
+)
+
+// startWSServer hosts an echo WebSocket endpoint on the virtual internet
+// and returns a dial function for clients.
+func startWSServer(t *testing.T, handler func(*Conn)) func(addr string) (net.Conn, error) {
+	t.Helper()
+	inet := netsim.New()
+	l, _, err := inet.ListenDomain("ws.example", "US", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/devtools", func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		handler(c)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return func(addr string) (net.Conn, error) {
+		return inet.Dial(context.Background(), addr)
+	}
+}
+
+func echoHandler(c *Conn) {
+	defer c.Close()
+	for {
+		op, msg, err := c.ReadMessage()
+		if err != nil {
+			return
+		}
+		if err := c.WriteMessage(op, msg); err != nil {
+			return
+		}
+	}
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteMessage(OpText, []byte(`{"id":1,"method":"Page.navigate"}`)); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != `{"id":1,"method":"Page.navigate"}` {
+		t.Fatalf("echo = %d %q", op, msg)
+	}
+}
+
+func TestBinaryMessage(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 70000) // forces 64-bit length encoding
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := c.WriteMessage(OpBinary, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || len(msg) != len(payload) {
+		t.Fatalf("echo len = %d", len(msg))
+	}
+	for i := range msg {
+		if msg[i] != payload[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestMediumMessage(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, _ := Dial("ws://ws.example/devtools", dial)
+	defer c.Close()
+	payload := []byte(strings.Repeat("m", 300)) // 16-bit length encoding
+	c.WriteMessage(OpText, payload)
+	_, msg, err := c.ReadMessage()
+	if err != nil || string(msg) != string(payload) {
+		t.Fatalf("echo = %q, %v", msg, err)
+	}
+}
+
+func TestServerInitiatedMessages(t *testing.T) {
+	dial := startWSServer(t, func(c *Conn) {
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			if err := c.WriteMessage(OpText, []byte("event")); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(msg) != "event" {
+			t.Fatalf("msg = %q", msg)
+		}
+	}
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after close err = %v", err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	done := make(chan error, 1)
+	dial := startWSServer(t, func(c *Conn) {
+		_, _, err := c.ReadMessage()
+		done <- err
+	})
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("server saw %v", err)
+	}
+	if err := c.WriteMessage(OpText, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+}
+
+func TestWriteMessageRejectsControlOpcodes(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, _ := Dial("ws://ws.example/devtools", dial)
+	defer c.Close()
+	if err := c.WriteMessage(OpClose, nil); err == nil {
+		t.Fatal("control opcode accepted")
+	}
+}
+
+func TestDialRejectsBadScheme(t *testing.T) {
+	if _, err := Dial("http://x/", nil); err == nil {
+		t.Fatal("http scheme accepted")
+	}
+	if _, err := Dial("://", nil); err == nil {
+		t.Fatal("garbage URL accepted")
+	}
+}
+
+func TestUpgradeRejectsPlainRequest(t *testing.T) {
+	inet := netsim.New()
+	l, _, err := inet.ListenDomain("ws.example", "US", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/devtools", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); !errors.Is(err, ErrBadHandshake) {
+			t.Errorf("Upgrade err = %v", err)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return inet.Dial(ctx, addr)
+		},
+	}}
+	resp, err := client.Get("http://ws.example/devtools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	var mu sync.Mutex
+	received := map[string]int{}
+	dial := startWSServer(t, func(c *Conn) {
+		defer c.Close()
+		for {
+			_, msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			received[string(msg)]++
+			mu.Unlock()
+			if err := c.WriteMessage(OpText, msg); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.WriteMessage(OpText, []byte(strings.Repeat("z", i+1)))
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := c.ReadMessage(); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	total := 0
+	for _, v := range received {
+		total += v
+	}
+	mu.Unlock()
+	if total != n {
+		t.Fatalf("server received %d messages, want %d", total, n)
+	}
+}
+
+// Property: arbitrary payloads survive the masked round trip.
+func TestPropertyEchoPreservesPayload(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := func(payload []byte) bool {
+		if err := c.WriteMessage(OpBinary, payload); err != nil {
+			return false
+		}
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			return false
+		}
+		if len(msg) != len(payload) {
+			return false
+		}
+		for i := range msg {
+			if msg[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptKeyRFCVector(t *testing.T) {
+	// RFC 6455 §1.3 example.
+	if got := acceptKey("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("acceptKey = %q", got)
+	}
+}
+
+func TestFragmentedMessageReassembled(t *testing.T) {
+	dial := startWSServer(t, echoHandler)
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteFragmented(OpText, []byte("hello "), []byte("fragmented "), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "hello fragmented world" {
+		t.Fatalf("echo = %d %q", op, msg)
+	}
+	// Single-chunk and empty variants.
+	if err := c.WriteFragmented(OpBinary, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, msg, _ := c.ReadMessage(); string(msg) != "x" {
+		t.Fatalf("msg = %q", msg)
+	}
+	if err := c.WriteFragmented(OpClose, []byte("x")); err == nil {
+		t.Fatal("control fragmentation accepted")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	serverGotPong := make(chan bool, 1)
+	dial := startWSServer(t, func(c *Conn) {
+		defer c.Close()
+		// Ping the client, then read: the client's ReadMessage answers
+		// with a pong, which our readFrame loop consumes silently; the
+		// data message that follows proves the connection stayed healthy.
+		if err := c.Ping([]byte("keepalive")); err != nil {
+			return
+		}
+		_, msg, err := c.ReadMessage()
+		serverGotPong <- err == nil && string(msg) == "after-ping"
+	})
+	c, err := Dial("ws://ws.example/devtools", dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Reading triggers the transparent pong; no data yet, so read in a
+	// goroutine and send the follow-up message.
+	done := make(chan struct{})
+	go func() {
+		c.ReadMessage() // blocks until server closes; consumes the ping
+		close(done)
+	}()
+	if err := c.WriteMessage(OpText, []byte("after-ping")); err != nil {
+		t.Fatal(err)
+	}
+	if ok := <-serverGotPong; !ok {
+		t.Fatal("server did not survive ping round trip")
+	}
+	<-done
+	if err := c.Ping(make([]byte, 126)); err == nil {
+		t.Fatal("oversized ping accepted")
+	}
+}
