@@ -20,6 +20,7 @@ import (
 	"panoptes/internal/core"
 	"panoptes/internal/leak"
 	"panoptes/internal/netfilter"
+	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
 	"panoptes/internal/report"
 	"panoptes/internal/websim"
@@ -367,8 +368,11 @@ func BenchmarkAblationCertCache(b *testing.B) {
 				if _, err := w.RunCampaign(core.CampaignConfig{}); err != nil {
 					b.Fatal(err)
 				}
-				_, misses := w.Proxy.CertCacheStats()
+				hits, misses := w.Proxy.CertCacheStats()
 				b.ReportMetric(float64(misses), "leaf_certs_minted")
+				if hits+misses > 0 {
+					b.ReportMetric(100*float64(hits)/float64(hits+misses), "cert_cache_hit_pct")
+				}
 				w.Close()
 			}
 		})
@@ -512,6 +516,7 @@ func BenchmarkCrawlScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
+				flowsBefore := obs.Default.Sum("capture_flows_total")
 				w, err := core.NewWorld(core.WorldConfig{
 					Sites:    sites,
 					Profiles: []*profiles.Profile{profiles.Chrome()},
@@ -525,6 +530,9 @@ func BenchmarkCrawlScaling(b *testing.B) {
 				}
 				elapsed := time.Since(start).Seconds()
 				b.ReportMetric(float64(len(res.Visits))/elapsed, "visits/sec")
+				// The obs registry is cumulative across worlds; the delta is
+				// this iteration's stored-flow throughput.
+				b.ReportMetric((obs.Default.Sum("capture_flows_total")-flowsBefore)/elapsed, "flows/sec")
 				w.Close()
 			}
 		})

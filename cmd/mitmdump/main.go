@@ -23,6 +23,7 @@ import (
 
 	"panoptes/internal/capture"
 	"panoptes/internal/mitm"
+	"panoptes/internal/obs"
 	"panoptes/internal/pki"
 	"panoptes/internal/taint"
 )
@@ -33,6 +34,9 @@ func main() {
 		caDir  = flag.String("ca-dir", "panoptes-ca", "directory for the interception CA (created/reused)")
 		token  = flag.String("token", "", "taint token marking engine traffic (default: random)")
 		outDir = flag.String("out", "", "directory for JSONL flow databases on exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		statsEvery  = flag.Duration("stats-every", 10*time.Second, "period of the one-line runtime stats summary (0 disables)")
 	)
 	flag.Parse()
 
@@ -63,11 +67,23 @@ func main() {
 	proxy.Use(splitter)
 	proxy.Use(printAddon{})
 
+	if *metricsAddr != "" {
+		obs.ServeMetrics(*metricsAddr, obs.Default, func(err error) {
+			fmt.Fprintf(os.Stderr, "mitmdump: metrics server: %v\n", err)
+		})
+		fmt.Fprintf(os.Stderr, "mitmdump: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", *metricsAddr)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "mitmdump: proxying on %s (taint token %s)\n", *addr, *token)
+
+	done := make(chan struct{})
+	if *statsEvery > 0 {
+		go statsLoop(*statsEvery, done)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -78,6 +94,8 @@ func main() {
 	if err := proxy.Serve(l); err != nil {
 		fmt.Fprintf(os.Stderr, "mitmdump: serve: %v\n", err)
 	}
+	close(done)
+	printStats()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err == nil {
@@ -87,6 +105,40 @@ func main() {
 				db.Engine.Len(), db.Native.Len(), *outDir)
 		}
 	}
+}
+
+// statsLoop prints the periodic one-line runtime summary, driven by the
+// obs registry the proxy instruments itself against. Only deltas make a
+// line: an idle proxy stays quiet.
+func statsLoop(every time.Duration, done <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastReqs int64
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			if reqs := int64(obs.Default.Sum("mitm_requests_total")); reqs != lastReqs {
+				lastReqs = reqs
+				printStats()
+			}
+		}
+	}
+}
+
+// printStats emits the one-line stats summary.
+func printStats() {
+	r := obs.Default
+	fmt.Fprintf(os.Stderr,
+		"mitmdump: stats: %d requests (%d https, %d http), %d bytes up / %d down, %d active conns, %d handshake failures\n",
+		int64(r.Sum("mitm_requests_total")),
+		r.Counter("mitm_requests_total", "scheme", "https").Value(),
+		r.Counter("mitm_requests_total", "scheme", "http").Value(),
+		r.Counter("mitm_bytes_total", "dir", "up").Value(),
+		r.Counter("mitm_bytes_total", "dir", "down").Value(),
+		int64(r.Gauge("mitm_active_conns").Value()),
+		r.Counter("mitm_handshakes_total", "result", "fail").Value())
 }
 
 // printAddon logs each completed flow to stdout.

@@ -26,6 +26,7 @@ import (
 	"panoptes/internal/blocker"
 	"panoptes/internal/core"
 	"panoptes/internal/leak"
+	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
 	"panoptes/internal/report"
 )
@@ -39,6 +40,9 @@ func main() {
 		outDir    = flag.String("out", "", "directory for JSONL flow databases and CSV outputs")
 		harOut    = flag.Bool("har", false, "with -out: also export HAR 1.2 archives")
 		block     = flag.Bool("block", false, "install the countermeasure blocker (internal/blocker)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		waterfall   = flag.Int("waterfall", 0, "print an ASCII waterfall for the first N page-visit span trees")
 
 		all      = flag.Bool("all", false, "produce every figure and table")
 		table1   = flag.Bool("table1", false, "Table 1: browser dataset")
@@ -92,6 +96,13 @@ func main() {
 	needCrawl := *fig2 || *fig3 || *fig4 || *table2 || *leaksF || *geoF || *dnsF || *listing1 || *crossF
 	if !needCrawl && !*fig5 {
 		return
+	}
+
+	if *metricsAddr != "" {
+		obs.ServeMetrics(*metricsAddr, obs.Default, func(err error) {
+			fmt.Fprintf(os.Stderr, "panoptes: metrics server: %v\n", err)
+		})
+		fmt.Fprintf(os.Stderr, "panoptes: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", *metricsAddr)
 	}
 
 	fmt.Fprintf(os.Stderr, "panoptes: assembling testbed (%d sites, %d browsers)...\n", *sites, len(selected))
@@ -233,9 +244,27 @@ func main() {
 			s.NativeBlocked, s.NativeExamined, s.ByReason, s.EnginePassed)
 	}
 
+	// End-of-campaign observability: the headline numbers (cert-cache hit
+	// rate, p50/p95 visit latency) plus the full metric-family table.
+	if needCrawl || *fig5 {
+		report.CampaignObsSummary(os.Stdout, obs.Default)
+		fmt.Println()
+		report.MetricsSummary(os.Stdout, obs.Default)
+		fmt.Println()
+	}
+	if *waterfall > 0 {
+		trees := w.Trace.Roots()
+		if len(trees) > *waterfall {
+			trees = trees[:*waterfall]
+		}
+		report.Waterfall(os.Stdout, trees)
+		fmt.Println()
+	}
+
 	if *outDir != "" && needCrawl {
 		writeFile(*outDir, "engine.jsonl", func(f *os.File) { w.DB.Engine.WriteJSONL(f) })
 		writeFile(*outDir, "native.jsonl", func(f *os.File) { w.DB.Native.WriteJSONL(f) })
+		writeFile(*outDir, "trace.jsonl", func(f *os.File) { w.Trace.WriteJSONL(f) })
 		if *harOut {
 			writeFile(*outDir, "engine.har", func(f *os.File) { w.DB.Engine.WriteHAR(f) })
 			writeFile(*outDir, "native.har", func(f *os.File) { w.DB.Native.WriteHAR(f) })

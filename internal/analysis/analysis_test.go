@@ -184,20 +184,20 @@ func TestTable2MatchesPaper(t *testing.T) {
 
 	// The paper's Table 2, cell for cell.
 	want := map[string][]pii.Attribute{
-		"Chrome":     {},
-		"Edge":       {pii.AttrDeviceManuf, pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrConnType, pii.AttrNetType},
-		"Opera":      {pii.AttrDeviceManuf, pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry, pii.AttrLocation, pii.AttrNetType},
-		"Vivaldi":    {pii.AttrResolution},
-		"Yandex":     {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution, pii.AttrDPI, pii.AttrLocale, pii.AttrNetType},
-		"Brave":      {},
-		"Samsung":    {pii.AttrLocale},
-		"DuckDuckGo": {},
-		"Dolphin":    {},
-		"Whale":      {pii.AttrResolution, pii.AttrLocalIP, pii.AttrRooted, pii.AttrLocale, pii.AttrCountry, pii.AttrNetType},
-		"Mint":       {pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry},
-		"Kiwi":       {},
-		"CocCoc":     {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry},
-		"QQ":         {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution},
+		"Chrome":           {},
+		"Edge":             {pii.AttrDeviceManuf, pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrConnType, pii.AttrNetType},
+		"Opera":            {pii.AttrDeviceManuf, pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry, pii.AttrLocation, pii.AttrNetType},
+		"Vivaldi":          {pii.AttrResolution},
+		"Yandex":           {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution, pii.AttrDPI, pii.AttrLocale, pii.AttrNetType},
+		"Brave":            {},
+		"Samsung":          {pii.AttrLocale},
+		"DuckDuckGo":       {},
+		"Dolphin":          {},
+		"Whale":            {pii.AttrResolution, pii.AttrLocalIP, pii.AttrRooted, pii.AttrLocale, pii.AttrCountry, pii.AttrNetType},
+		"Mint":             {pii.AttrTimezone, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry},
+		"Kiwi":             {},
+		"CocCoc":           {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution, pii.AttrLocale, pii.AttrCountry},
+		"QQ":               {pii.AttrDeviceType, pii.AttrDeviceManuf, pii.AttrResolution},
 		"UC International": {pii.AttrLocale, pii.AttrNetType},
 	}
 	for browser, attrs := range want {

@@ -69,9 +69,9 @@ type Blocker struct {
 	policy Policy
 	list   *hostlist.List
 
-	mu       sync.Mutex
-	blocked  []Decision
-	examined int
+	mu         sync.Mutex
+	blocked    []Decision
+	examined   int
 	enginePass int
 }
 

@@ -41,14 +41,14 @@ type HAREntry struct {
 
 // HARRequest is the request half.
 type HARRequest struct {
-	Method      string     `json:"method"`
-	URL         string     `json:"url"`
-	HTTPVersion string     `json:"httpVersion"`
-	Headers     []HARPair  `json:"headers"`
-	QueryString []HARPair  `json:"queryString"`
-	PostData    *HARPost   `json:"postData,omitempty"`
-	HeadersSize int        `json:"headersSize"`
-	BodySize    int        `json:"bodySize"`
+	Method      string    `json:"method"`
+	URL         string    `json:"url"`
+	HTTPVersion string    `json:"httpVersion"`
+	Headers     []HARPair `json:"headers"`
+	QueryString []HARPair `json:"queryString"`
+	PostData    *HARPost  `json:"postData,omitempty"`
+	HeadersSize int       `json:"headersSize"`
+	BodySize    int       `json:"bodySize"`
 }
 
 // HARResponse is the response half.

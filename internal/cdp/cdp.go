@@ -25,17 +25,17 @@ import (
 
 // Method names used by the Panoptes instrumentation.
 const (
-	MethodPageEnable      = "Page.enable"
-	MethodPageNavigate    = "Page.navigate"
-	MethodNetworkEnable   = "Network.enable"
-	MethodFetchEnable     = "Fetch.enable"
-	MethodFetchDisable    = "Fetch.disable"
-	MethodFetchContinue   = "Fetch.continueRequest"
-	MethodBrowserVersion  = "Browser.getVersion"
-	EventDOMContentFired  = "Page.domContentEventFired"
-	EventLoadFired        = "Page.loadEventFired"
+	MethodPageEnable       = "Page.enable"
+	MethodPageNavigate     = "Page.navigate"
+	MethodNetworkEnable    = "Network.enable"
+	MethodFetchEnable      = "Fetch.enable"
+	MethodFetchDisable     = "Fetch.disable"
+	MethodFetchContinue    = "Fetch.continueRequest"
+	MethodBrowserVersion   = "Browser.getVersion"
+	EventDOMContentFired   = "Page.domContentEventFired"
+	EventLoadFired         = "Page.loadEventFired"
 	EventRequestWillBeSent = "Network.requestWillBeSent"
-	EventRequestPaused    = "Fetch.requestPaused"
+	EventRequestPaused     = "Fetch.requestPaused"
 )
 
 // message is the wire envelope: request, response or event.

@@ -11,10 +11,30 @@ import (
 	"panoptes/internal/browser"
 	"panoptes/internal/cdp"
 	"panoptes/internal/frida"
+	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
 	"panoptes/internal/taint"
 	"panoptes/internal/websim"
 )
+
+// Campaign observability: visit throughput and latency are the headline
+// numbers the end-of-run summary and /metrics expose.
+var (
+	mVisitOK      = obs.Default.Counter("core_visits_total", "result", "ok")
+	mVisitErr     = obs.Default.Counter("core_visits_total", "result", "error")
+	mVisitLatency = obs.Default.Histogram("core_visit_duration_seconds", nil)
+	mCampaigns    = obs.Default.Counter("core_campaigns_total")
+	mCampaignProg = obs.Default.Gauge("core_campaign_progress_visits")
+	mBrowsersDone = obs.Default.Counter("core_browsers_crawled_total")
+)
+
+func init() {
+	obs.Default.Help("core_visits_total", "Page visits by outcome.")
+	obs.Default.Help("core_visit_duration_seconds", "Virtual-clock duration of one visit (modelled load + settle).")
+	obs.Default.Help("core_campaigns_total", "Campaigns started.")
+	obs.Default.Help("core_campaign_progress_visits", "Visits completed in the currently running campaign.")
+	obs.Default.Help("core_browsers_crawled_total", "Per-browser crawls completed.")
+}
 
 // CampaignConfig selects what a crawl visits and how.
 type CampaignConfig struct {
@@ -78,6 +98,8 @@ type CampaignResult struct {
 func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	cfg.defaults(w)
 	result := &CampaignResult{}
+	mCampaigns.Inc()
+	mCampaignProg.Set(0)
 
 	for _, name := range cfg.Browsers {
 		b, err := w.Browser(name)
@@ -91,6 +113,7 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		if err := w.crawlBrowser(b, cfg, result); err != nil {
 			return result, fmt.Errorf("core: campaign on %s: %w", name, err)
 		}
+		mBrowsersDone.Inc()
 	}
 	return result, nil
 }
@@ -140,17 +163,38 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, result *Cam
 
 	for _, site := range cfg.Sites {
 		url := site.URL()
+		visitSpan := w.Trace.Start("visit")
+		visitSpan.SetAttr("browser", b.Profile.Name)
+		visitSpan.SetAttr("url", url)
+		w.Trace.SetActive(b.UID(), visitSpan)
 		w.Visits.BeginVisit(b.UID(), url, cfg.Incognito)
+
+		navSpan := visitSpan.Child("navigate")
 		loadMs, navErr := navigate(url, cfg.NavigateTimeout)
 		rec := VisitRecord{Browser: b.Profile.Name, URL: url, LoadTimeMs: loadMs}
 		if navErr != nil {
 			rec.Err = navErr.Error()
 			result.Errors++
+			navSpan.SetAttr("error", navErr.Error())
+			mVisitErr.Inc()
+		} else {
+			mVisitOK.Inc()
 		}
 		// DOMContentLoaded (modelled load time) plus the settle window,
-		// on the virtual clock — §2.1's wait discipline.
-		w.Clock.Advance(time.Duration(loadMs)*time.Millisecond + cfg.Settle)
+		// on the virtual clock — §2.1's wait discipline. The advance is
+		// split so the navigate and settle spans carry their real virtual
+		// durations.
+		w.Clock.Advance(time.Duration(loadMs) * time.Millisecond)
+		navSpan.End()
+		settleSpan := visitSpan.Child("settle")
+		w.Clock.Advance(cfg.Settle)
+		settleSpan.End()
+
 		w.Visits.EndVisit(b.UID())
+		w.Trace.SetActive(b.UID(), nil)
+		visitSpan.End()
+		mVisitLatency.Observe((time.Duration(loadMs)*time.Millisecond + cfg.Settle).Seconds())
+		mCampaignProg.Inc()
 		result.Visits = append(result.Visits, rec)
 	}
 	return nil
@@ -193,10 +237,14 @@ func (w *World) instrumentCDP(b *browser.Browser) (navigateFunc, func(), error) 
 		if err := json.Unmarshal(raw, &p); err != nil {
 			return
 		}
+		sp := w.Trace.Active(b.UID()).Child("cdp.intercept")
 		headers := taint.InjectCDP(p.Request.Headers, w.Token)
-		go client.Call(cdp.MethodFetchContinue, cdp.ContinueParams{
-			RequestID: p.RequestID, Headers: headers,
-		}, nil)
+		go func() {
+			client.Call(cdp.MethodFetchContinue, cdp.ContinueParams{
+				RequestID: p.RequestID, Headers: headers,
+			}, nil)
+			sp.End()
+		}()
 	})
 
 	nav := func(url string, timeout time.Duration) (int64, error) {
@@ -222,8 +270,11 @@ func (w *World) instrumentFrida(b *browser.Browser) (navigateFunc, func(), error
 		return nil, nil, err
 	}
 	token := w.Token
+	uid := b.UID()
 	if err := sess.InterceptRequests(func(req *http.Request) error {
+		sp := w.Trace.Active(uid).Child("frida.intercept")
 		taint.Inject(req.Header, token)
+		sp.End()
 		return nil
 	}); err != nil {
 		return nil, nil, err

@@ -49,11 +49,17 @@ func (w *World) RunIdle(browserName string, duration time.Duration) (*IdleResult
 		return nil, err
 	}
 
+	uid := b.UID()
+	idleSpan := w.Trace.Start("idle")
+	idleSpan.SetAttr("browser", browserName)
+	w.Trace.SetActive(uid, idleSpan)
+
 	start := w.Clock.Now()
 	w.Clock.Advance(duration)
 	end := w.Clock.Now()
 
-	uid := b.UID()
+	w.Trace.SetActive(uid, nil)
+	idleSpan.End()
 	flows := w.DB.Native.Filter(func(f *capture.Flow) bool {
 		return f.BrowserUID == uid && !f.Time.Before(start) && !f.Time.After(end)
 	})

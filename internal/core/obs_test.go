@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"panoptes/internal/obs"
+	"panoptes/internal/report"
+)
+
+// TestObservabilityFamilies runs a small crawl and checks the acceptance
+// criterion for the obs subsystem: the default registry exposes at least
+// 15 distinct metric families spanning mitm, capture, core, dnssim and
+// netsim, and the campaign summary carries the cert-cache hit rate and
+// visit-latency percentiles.
+func TestObservabilityFamilies(t *testing.T) {
+	w := smallWorld(t, 4, "Chrome", "DuckDuckGo")
+	if _, err := w.RunCampaign(CampaignConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	fams := obs.Default.Families()
+	if len(fams) < 15 {
+		t.Fatalf("metric families = %d, want >= 15: %v", len(fams), fams)
+	}
+	prefixes := map[string]bool{}
+	for _, f := range fams {
+		prefixes[strings.SplitN(f, "_", 2)[0]] = true
+	}
+	for _, sub := range []string{"mitm", "capture", "core", "dns", "netsim"} {
+		if !prefixes[sub] {
+			t.Fatalf("no metric family for subsystem %q (families: %v)", sub, fams)
+		}
+	}
+
+	// The crawl must actually have moved the hot-path counters.
+	for _, name := range []string{
+		"mitm_requests_total", "mitm_handshakes_total", "mitm_cert_cache_total",
+		"capture_flows_total", "core_visits_total", "netsim_conns_opened_total",
+	} {
+		if obs.Default.Sum(name) == 0 {
+			t.Errorf("family %s is zero after a crawl", name)
+		}
+	}
+	if h := obs.Default.Histogram("core_visit_duration_seconds", nil); h.Count() == 0 {
+		t.Error("visit latency histogram empty after a crawl")
+	}
+
+	// The exposition carries every family.
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		if !strings.Contains(sb.String(), "# TYPE "+f+" ") {
+			t.Errorf("exposition missing family %s", f)
+		}
+	}
+
+	// The end-of-campaign summary prints the headline numbers.
+	var sum strings.Builder
+	report.CampaignObsSummary(&sum, obs.Default)
+	for _, want := range []string{"cert-cache hit rate", "per-visit latency", "p50", "p95"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("campaign summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestVisitSpanTrees checks one span tree is recorded per visit, with
+// the navigate/settle phases and nested mitm exchange spans.
+func TestVisitSpanTrees(t *testing.T) {
+	w := smallWorld(t, 3, "Chrome")
+	if _, err := w.RunCampaign(CampaignConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	trees := w.Trace.Roots()
+	if len(trees) != 3 {
+		t.Fatalf("span trees = %d, want 3 (one per visit)", len(trees))
+	}
+	for _, root := range trees {
+		if root.Name != "visit" || root.Attrs["browser"] != "Chrome" {
+			t.Fatalf("unexpected root: %+v", root)
+		}
+		var names []string
+		for _, c := range root.Children {
+			names = append(names, c.Name)
+		}
+		joined := strings.Join(names, " ")
+		for _, want := range []string{"navigate", "settle", "mitm.exchange"} {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("visit children %v missing %q", names, want)
+			}
+		}
+		if root.Duration() <= 0 {
+			t.Fatal("visit span has no duration")
+		}
+	}
+
+	// The trees survive a JSONL round-trip.
+	var sb strings.Builder
+	if err := w.Trace.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadSpansJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trees) {
+		t.Fatalf("round-trip trees = %d, want %d", len(back), len(trees))
+	}
+
+	// And render as a waterfall without panicking.
+	var wf strings.Builder
+	report.Waterfall(&wf, back[:1])
+	if !strings.Contains(wf.String(), "navigate") || !strings.Contains(wf.String(), "█") {
+		t.Fatalf("waterfall did not render:\n%s", wf.String())
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"panoptes/internal/hostlist"
 	"panoptes/internal/mitm"
 	"panoptes/internal/netsim"
+	"panoptes/internal/obs"
 	"panoptes/internal/pki"
 	"panoptes/internal/profiles"
 	"panoptes/internal/taint"
@@ -63,6 +64,9 @@ type World struct {
 	Visits   *capture.VisitContext
 	Splitter *taint.SplitterAddon
 	Token    string
+	// Trace collects one span tree per page visit (navigate → intercept →
+	// mitm → capture), stamped with the virtual clock.
+	Trace *obs.Tracer
 
 	Hostlist *hostlist.List
 	FridaDev *frida.Device
@@ -145,6 +149,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	w.Token = taint.NewToken()
 	w.Splitter = taint.NewSplitter(w.Token, w.DB, w.Visits)
+	w.Trace = obs.NewTracer(clock.Now)
 
 	// The proxy container runs under its own UID: its upstream dials are
 	// not re-diverted by the per-browser rules.
@@ -158,6 +163,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Now:              clock.Now,
 		DisableCertCache: cfg.DisableCertCache,
 		DisableKeepAlive: cfg.DisableKeepAlive,
+		Trace:            w.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: proxy: %w", err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"panoptes/internal/dnsmsg"
+	"panoptes/internal/obs"
 )
 
 // DNSQuery is one logged stub-resolver lookup. The §3.2 analysis compares
@@ -39,6 +40,7 @@ func (r *StubResolver) Lookup(uid int, name string) (net.IP, error) {
 	r.mu.Lock()
 	r.log = append(r.log, DNSQuery{Time: r.dev.Clock.Now(), UID: uid, Name: name, Type: dnsmsg.TypeA})
 	r.mu.Unlock()
+	obs.Default.Counter("dns_queries_total", "transport", "stub", "type", dnsmsg.TypeA.String()).Inc()
 	return r.dev.Net.LookupHost(name)
 }
 
@@ -54,6 +56,7 @@ func (r *StubResolver) Exchange(uid int, query []byte) ([]byte, error) {
 		r.mu.Lock()
 		r.log = append(r.log, DNSQuery{Time: r.dev.Clock.Now(), UID: uid, Name: question.Name, Type: question.Type})
 		r.mu.Unlock()
+		obs.Default.Counter("dns_queries_total", "transport", "stub", "type", question.Type.String()).Inc()
 		if question.Type != dnsmsg.TypeA {
 			continue
 		}

@@ -17,10 +17,16 @@ import (
 	"sync"
 
 	"panoptes/internal/dnsmsg"
+	"panoptes/internal/obs"
 )
 
 // ContentType is the RFC 8484 media type.
 const ContentType = "application/dns-message"
+
+func init() {
+	obs.Default.Help("dns_queries_total", "DNS questions answered, by transport (doh vs the device stub) and record type.")
+	obs.Default.Help("dns_doh_lookups_total", "Client-side DoH lookups by result.")
+}
 
 // Resolver answers name lookups; the virtual internet implements it.
 type Resolver interface {
@@ -94,6 +100,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.mu.Lock()
 		h.queried = append(h.queried, question.Name)
 		h.mu.Unlock()
+		obs.Default.Counter("dns_queries_total", "transport", "doh", "type", question.Type.String()).Inc()
 		if question.Type != dnsmsg.TypeA {
 			continue
 		}
@@ -130,7 +137,14 @@ type Client struct {
 }
 
 // Lookup resolves an A record via DoH POST.
-func (c *Client) Lookup(name string) (net.IP, error) {
+func (c *Client) Lookup(name string) (ip net.IP, err error) {
+	defer func() {
+		result := "ok"
+		if err != nil {
+			result = "error"
+		}
+		obs.Default.Counter("dns_doh_lookups_total", "result", result).Inc()
+	}()
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID

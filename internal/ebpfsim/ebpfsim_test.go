@@ -33,8 +33,8 @@ func TestLoadValidation(t *testing.T) {
 	r := NewRegistry()
 	cases := []*Program{
 		nil,
-		{Name: "x", Type: AttachEgress, MaxInstructions: 10},                                  // nil Run
-		{Type: AttachEgress, MaxInstructions: 10, Run: func(*Context) Action { return 0 }},    // no name
+		{Name: "x", Type: AttachEgress, MaxInstructions: 10},                               // nil Run
+		{Type: AttachEgress, MaxInstructions: 10, Run: func(*Context) Action { return 0 }}, // no name
 		{Name: "x", Type: "bogus", MaxInstructions: 10, Run: func(*Context) Action { return 0 }},
 		{Name: "x", Type: AttachEgress, MaxInstructions: 0, Run: func(*Context) Action { return 0 }},
 		{Name: "x", Type: AttachEgress, MaxInstructions: VerifierBudget + 1, Run: func(*Context) Action { return 0 }},

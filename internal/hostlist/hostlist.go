@@ -41,8 +41,8 @@ func (c Category) AdRelated() bool {
 
 // List is a compiled hosts list.
 type List struct {
-	mu      sync.RWMutex
-	exact   map[string]Category // fqdn -> category
+	mu    sync.RWMutex
+	exact map[string]Category // fqdn -> category
 }
 
 // New returns an empty list.

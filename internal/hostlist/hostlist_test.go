@@ -136,15 +136,15 @@ func TestBundledList(t *testing.T) {
 
 func TestRegistrableDomain(t *testing.T) {
 	cases := map[string]string{
-		"example.com":            "example.com",
-		"www.example.com":        "example.com",
-		"a.b.c.example.com":      "example.com",
-		"example.co.uk":          "example.co.uk",
-		"www.example.co.uk":      "example.co.uk",
-		"shop.example.com.cn":    "example.com.cn",
-		"single":                 "single",
-		"sba.yandex.net":         "yandex.net",
-		"api.browser.yandex.ru":  "yandex.ru",
+		"example.com":             "example.com",
+		"www.example.com":         "example.com",
+		"a.b.c.example.com":       "example.com",
+		"example.co.uk":           "example.co.uk",
+		"www.example.co.uk":       "example.co.uk",
+		"shop.example.com.cn":     "example.com.cn",
+		"single":                  "single",
+		"sba.yandex.net":          "yandex.net",
+		"api.browser.yandex.ru":   "yandex.ru",
 		"stats.g.doubleclick.net": "doubleclick.net",
 	}
 	for host, want := range cases {

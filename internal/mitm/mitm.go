@@ -28,8 +28,38 @@ import (
 
 	"panoptes/internal/capture"
 	"panoptes/internal/netsim"
+	"panoptes/internal/obs"
 	"panoptes/internal/pki"
 )
+
+// Observability instruments the proxy hot paths against the default obs
+// registry. Counters are process-wide totals; per-proxy numbers stay
+// available through CertCacheStats/HandshakeFailures.
+var (
+	mHandshakeOK   = obs.Default.Counter("mitm_handshakes_total", "result", "ok")
+	mHandshakeFail = obs.Default.Counter("mitm_handshakes_total", "result", "fail")
+	mCertHit       = obs.Default.Counter("mitm_cert_cache_total", "result", "hit")
+	mCertMiss      = obs.Default.Counter("mitm_cert_cache_total", "result", "miss")
+	mPinningFail   = obs.Default.Counter("mitm_pinning_failures_total")
+	mReqHTTP       = obs.Default.Counter("mitm_requests_total", "scheme", "http")
+	mReqHTTPS      = obs.Default.Counter("mitm_requests_total", "scheme", "https")
+	mVetoed        = obs.Default.Counter("mitm_vetoed_total")
+	mUpstreamErr   = obs.Default.Counter("mitm_upstream_errors_total")
+	mBytesUp       = obs.Default.Counter("mitm_bytes_total", "dir", "up")
+	mBytesDown     = obs.Default.Counter("mitm_bytes_total", "dir", "down")
+	mActiveConns   = obs.Default.Gauge("mitm_active_conns")
+	mReqLatency    = obs.Default.Histogram("mitm_request_duration_seconds", nil)
+)
+
+func init() {
+	obs.Default.Help("mitm_handshakes_total", "Client-side TLS handshakes by result.")
+	obs.Default.Help("mitm_cert_cache_total", "Leaf-certificate cache lookups by result.")
+	obs.Default.Help("mitm_pinning_failures_total", "Handshakes rejected by certificate-pinning clients (paper footnote 3).")
+	obs.Default.Help("mitm_requests_total", "Intercepted HTTP exchanges by scheme.")
+	obs.Default.Help("mitm_bytes_total", "Request (up) and response (down) wire bytes through the proxy.")
+	obs.Default.Help("mitm_active_conns", "Client connections currently being served.")
+	obs.Default.Help("mitm_request_duration_seconds", "Wall-clock latency of one proxied exchange.")
+}
 
 // Addon observes and may mutate intercepted exchanges, in the manner of a
 // mitmproxy addon. Request runs after the flow is populated and before
@@ -68,6 +98,9 @@ type Proxy struct {
 	Dial Dialer
 	// Now timestamps flows.
 	Now Clock
+	// Trace, when non-nil, hangs handshake/exchange spans off the active
+	// visit span of the owning browser UID.
+	Trace *obs.Tracer
 
 	mu        sync.Mutex
 	addons    []Addon
@@ -89,6 +122,8 @@ type Config struct {
 	DisableCertCache bool
 	// DisableKeepAlive turns off upstream connection reuse (ablation).
 	DisableKeepAlive bool
+	// Trace receives per-exchange flow spans (may be nil).
+	Trace *obs.Tracer
 }
 
 // New creates a proxy.
@@ -99,7 +134,7 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now}
+	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now, Trace: cfg.Trace}
 	if !cfg.DisableCertCache {
 		p.certCache = make(map[string]*tls.Certificate)
 	}
@@ -198,6 +233,8 @@ func originalDst(c net.Conn) (addr string, uid int) {
 
 func (p *Proxy) handleConn(client net.Conn) {
 	defer client.Close()
+	mActiveConns.Inc()
+	defer mActiveConns.Dec()
 	dst, uid := originalDst(client)
 
 	br := bufio.NewReader(client)
@@ -252,13 +289,22 @@ func (p *Proxy) handleConn(client net.Conn) {
 				return p.leafFor(name)
 			},
 		}
+		hsSpan := p.Trace.Active(uid).Child("mitm.handshake")
+		hsSpan.SetAttr("host", host)
 		tc := tls.Server(&peekedConn{Conn: client, r: br}, cfg)
 		if err := tc.Handshake(); err != nil {
 			p.mu.Lock()
 			p.hsFails++
 			p.mu.Unlock()
+			mHandshakeFail.Inc()
+			mPinningFail.Inc()
+			hsSpan.SetAttr("result", "fail")
+			hsSpan.End()
 			return
 		}
+		mHandshakeOK.Inc()
+		hsSpan.SetAttr("result", "ok")
+		hsSpan.End()
 		p.serveHTTP(bufio.NewReader(tc), tc, "https", host, port, uid)
 		return
 	}
@@ -304,11 +350,13 @@ func (p *Proxy) leafFor(host string) (*tls.Certificate, error) {
 		if c, ok := p.certCache[host]; ok {
 			p.certHit++
 			p.mu.Unlock()
+			mCertHit.Inc()
 			return c, nil
 		}
 	}
 	p.certMiss++
 	p.mu.Unlock()
+	mCertMiss.Inc()
 
 	cert, err := p.CA.Issue(host)
 	if err != nil {
@@ -340,14 +388,30 @@ func (p *Proxy) serveHTTP(br *bufio.Reader, client net.Conn, scheme, host, port 
 // serveOne processes a single exchange; it reports whether the client
 // connection can be reused.
 func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port string, uid int) bool {
+	wallStart := time.Now()
+	defer func() { mReqLatency.Observe(time.Since(wallStart).Seconds()) }()
+	if scheme == "https" {
+		mReqHTTPS.Inc()
+	} else {
+		mReqHTTP.Inc()
+	}
+	sp := p.Trace.Active(uid).Child("mitm.exchange")
+	defer sp.End()
+	sp.SetAttr("host", host)
+	sp.SetAttr("method", req.Method)
+
 	flow := p.buildFlow(req, scheme, host, uid)
+	mBytesUp.Add(int64(flow.ReqBytes))
 
 	p.mu.Lock()
 	addons := append([]Addon(nil), p.addons...)
 	p.mu.Unlock()
+	splitSpan := sp.Child("taint.split")
 	for _, a := range addons {
 		a.Request(flow, req)
 	}
+	splitSpan.SetAttr("origin", string(flow.Origin))
+	splitSpan.End()
 	// Veto pass: any vetoing addon blocks the exchange at the proxy.
 	for _, a := range addons {
 		v, ok := a.(Vetoer)
@@ -355,6 +419,8 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 			continue
 		}
 		if err := v.Veto(flow, req); err != nil {
+			mVetoed.Inc()
+			sp.SetAttr("result", "vetoed")
 			flow.Status = http.StatusForbidden
 			flow.Err = "vetoed: " + err.Error()
 			for _, a2 := range addons {
@@ -368,8 +434,12 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 		}
 	}
 
+	fwdSpan := sp.Child("mitm.forward")
 	resp, err := p.forward(req, scheme, host, port)
+	fwdSpan.End()
 	if err != nil {
+		mUpstreamErr.Inc()
+		sp.SetAttr("result", "upstream-error")
 		flow.Status = http.StatusBadGateway
 		flow.Err = err.Error()
 		for _, a := range addons {
@@ -388,6 +458,8 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 
 	n, werr := p.writeResponse(client, resp)
 	flow.RespBytes = n
+	mBytesDown.Add(int64(n))
+	sp.SetAttr("status", fmt.Sprint(resp.StatusCode))
 	resp.Body.Close()
 	return werr == nil
 }

@@ -40,9 +40,9 @@ type rig struct {
 }
 
 type upstreamLog struct {
-	mu       sync.Mutex
-	headers  []http.Header
-	paths    []string
+	mu      sync.Mutex
+	headers []http.Header
+	paths   []string
 }
 
 func (u *upstreamLog) record(r *http.Request) {
@@ -104,7 +104,7 @@ func newRig(t *testing.T, cfgMod func(*Config)) *rig {
 	// Proxy container, running under its own UID on the device.
 	proxyPkg := dev.Install("org.debian.mitmproxy")
 	cfg := Config{
-		CA: mitmCA,
+		CA:            mitmCA,
 		UpstreamRoots: &tls.Config{RootCAs: publicCA.Pool(), Time: clock.Now},
 		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
 			return dev.DialContext(ctx, proxyPkg.UID, addr)

@@ -119,14 +119,14 @@ func (b *pipeBuf) buffered() int {
 // net.Conn (and MetaConn) with buffered writes, so HTTP request/response
 // exchanges never deadlock the way unbuffered net.Pipe can.
 type Conn struct {
-	rd, wr     *pipeBuf
-	local      net.Addr
-	remote     net.Addr
-	meta       Meta
-	closeOnce  sync.Once
-	onClose    func()
-	wrote      func(int) // byte accounting hook, may be nil
-	readCount  func(int)
+	rd, wr    *pipeBuf
+	local     net.Addr
+	remote    net.Addr
+	meta      Meta
+	closeOnce sync.Once
+	onClose   func()
+	wrote     func(int) // byte accounting hook, may be nil
+	readCount func(int)
 }
 
 // Pair returns two connected endpoints with the given addresses. Data

@@ -16,7 +16,26 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
+
+	"panoptes/internal/obs"
 )
+
+// Observability: the virtual internet reports connection churn so the
+// measurement plane can see dial pressure under load.
+var (
+	mConnsOpened     = obs.Default.Counter("netsim_conns_opened_total")
+	mDialErrors      = obs.Default.Counter("netsim_dial_errors_total")
+	mDialLatency     = obs.Default.Histogram("netsim_dial_duration_seconds", nil)
+	mActiveListeners = obs.Default.Gauge("netsim_active_listeners")
+)
+
+func init() {
+	obs.Default.Help("netsim_conns_opened_total", "Virtual TCP connections successfully dialed.")
+	obs.Default.Help("netsim_dial_errors_total", "Dial attempts that failed (no such host, connection refused).")
+	obs.Default.Help("netsim_dial_duration_seconds", "Wall-clock latency of Internet.Dial.")
+	obs.Default.Help("netsim_active_listeners", "Listeners currently registered on the virtual internet.")
+}
 
 // Block is a CIDR range allocated to a country. The geoip database is
 // built from the allocation table.
@@ -205,6 +224,7 @@ func (in *Internet) ListenIP(ip net.IP, port int) (*Listener, error) {
 		done: make(chan struct{}),
 	}
 	in.listeners[key] = l
+	mActiveListeners.Inc()
 	return l, nil
 }
 
@@ -235,6 +255,7 @@ func (l *Listener) Close() error {
 		l.in.mu.Lock()
 		delete(l.in.listeners, l.addr.String())
 		l.in.mu.Unlock()
+		mActiveListeners.Dec()
 		close(l.done)
 	})
 	return nil
@@ -257,9 +278,9 @@ func (l *Listener) deliver(c *Conn) error {
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	meta     Meta
-	srcIP    net.IP
-	srcPort  int
+	meta    Meta
+	srcIP   net.IP
+	srcPort int
 }
 
 // WithMeta attaches simulation metadata to the connection.
@@ -290,7 +311,16 @@ func nextEphemeralPort() int {
 // literal IP). It resolves the host, finds the listener and returns the
 // client end. There is no handshake latency: the server end is delivered
 // to the listener before Dial returns.
-func (in *Internet) Dial(ctx context.Context, addr string, opts ...DialOption) (*Conn, error) {
+func (in *Internet) Dial(ctx context.Context, addr string, opts ...DialOption) (conn *Conn, err error) {
+	start := time.Now()
+	defer func() {
+		mDialLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			mDialErrors.Inc()
+		} else {
+			mConnsOpened.Inc()
+		}
+	}()
 	cfg := dialConfig{meta: Meta{OwnerUID: -1, OriginalDst: addr}}
 	for _, o := range opts {
 		o(&cfg)

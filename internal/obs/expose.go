@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label set, histograms expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	f.mu.RLock()
+	help := f.help
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	series := make(map[string]any, len(f.series))
+	for k, m := range f.series {
+		series[k] = m
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		switch m := series[k].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, k), formatFloat(float64(m.Value()))); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, k), formatFloat(m.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, f.name, k, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		le := formatFloat(b)
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", joinLabels(labels, `le="`+le+`"`)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", joinLabels(labels, `le="+Inf"`)), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labels), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labels), h.Count())
+	return err
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogramJSON is the JSON exposition of one histogram series.
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object:
+// one key per series ("name" or "name{labels}"), histogram series as
+// {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+
+	out := make(map[string]any)
+	for _, f := range fams {
+		f.mu.RLock()
+		for k, m := range f.series {
+			key := seriesName(f.name, k)
+			switch v := m.(type) {
+			case *Counter:
+				out[key] = v.Value()
+			case *Gauge:
+				out[key] = v.Value()
+			case *Histogram:
+				hj := histogramJSON{Count: v.Count(), Sum: v.Sum(), Buckets: map[string]int64{}}
+				bounds := v.Bounds()
+				counts := v.BucketCounts()
+				var cum int64
+				for i, b := range bounds {
+					cum += counts[i]
+					hj.Buckets[formatFloat(b)] = cum
+				}
+				hj.Buckets["+Inf"] = cum + counts[len(counts)-1]
+				out[key] = hj
+			}
+		}
+		f.mu.RUnlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the expvar-style JSON exposition.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+}
+
+// NewMux returns the observability HTTP mux served at -metrics-addr:
+// /metrics (Prometheus text), /debug/vars (expvar-style JSON) and the
+// standard net/http/pprof endpoints under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		io.WriteString(w, strings.Join([]string{
+			"panoptes observability endpoints:",
+			"  /metrics      Prometheus text exposition",
+			"  /debug/vars   expvar-style JSON",
+			"  /debug/pprof  runtime profiles",
+			"",
+		}, "\n"))
+	})
+	return mux
+}
+
+// ServeMetrics starts the observability HTTP server on addr in a
+// goroutine and returns immediately. Errors (e.g. the address being in
+// use) are reported through errf, which may be nil.
+func ServeMetrics(addr string, r *Registry, errf func(error)) {
+	srv := &http.Server{Addr: addr, Handler: NewMux(r)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if errf != nil {
+				errf(err)
+			}
+		}
+	}()
+}

@@ -1,0 +1,453 @@
+// Package obs is Panoptes' observability layer: a dependency-free,
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms, labeled families), Prometheus-text and expvar-style JSON
+// exposition over HTTP, and lightweight flow tracing (one span tree per
+// page visit) exportable as JSONL.
+//
+// The measurement plane (mitm proxy, capture store, campaign runner, DNS
+// simulators, virtual internet) instruments itself against the package
+// Default registry, so both the testbed binaries and the explicit-proxy
+// mode get the same counters for free. The paper's own methodology
+// depends on this kind of accounting — Figure 4's byte volumes and the
+// eBPF/proxy cross-check are byte counters over the same hot paths.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing event count. All methods are
+// safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, cache sizes,
+// active connections).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution (latencies, sizes). Bucket
+// bounds are inclusive upper edges; an implicit +Inf bucket catches the
+// tail. Observation is lock-free.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, without +Inf
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket counts; the final element is the
+// +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket containing it, the same estimate
+// Prometheus' histogram_quantile makes. With no observations it returns
+// NaN; quantiles landing in the +Inf bucket clamp to the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) { // +Inf bucket: clamp
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefLatencyBuckets are default seconds-scale latency bucket bounds.
+var DefLatencyBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+// LinearBuckets returns n buckets starting at start, stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n buckets starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name    string
+	kind    Kind
+	help    string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]any               // canonical label string -> *Counter/*Gauge/*Histogram
+	labels map[string]map[string]string // canonical label string -> parsed labels
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu          sync.RWMutex
+	fams        map[string]*family
+	pendingHelp map[string]string // help registered before the family exists
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// Default is the process-wide registry the measurement plane instruments
+// itself against, in the manner of expvar and the Prometheus default
+// registerer.
+var Default = NewRegistry()
+
+// labelKey canonicalises "k1,v1,k2,v2,..." variadic pairs into a stable
+// `k1="v1",k2="v2"` string, sorted by key.
+func labelKey(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pair list %q", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getFamily returns (creating if needed) the family for name, checking
+// the kind matches prior registrations.
+func (r *Registry) getFamily(name string, kind Kind, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.fams[name]; f == nil {
+			f = &family{name: name, kind: kind, buckets: append([]float64(nil), buckets...),
+				series: make(map[string]any), labels: make(map[string]map[string]string)}
+			if h, ok := r.pendingHelp[name]; ok {
+				f.help = h
+				delete(r.pendingHelp, name)
+			}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// getOrCreate returns the series at key, creating it with mk under the
+// family lock on first use.
+func (f *family) getOrCreate(key string, pairs []string, mk func() any) any {
+	f.mu.RLock()
+	m := f.series[key]
+	f.mu.RUnlock()
+	if m == nil {
+		f.mu.Lock()
+		if m = f.series[key]; m == nil {
+			m = mk()
+			f.series[key] = m
+			f.labels[key] = labelMap(pairs)
+		}
+		f.mu.Unlock()
+	}
+	return m
+}
+
+func labelMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out[pairs[i]] = pairs[i+1]
+	}
+	return out
+}
+
+// Counter returns (creating if needed) the counter series for name and
+// the given "k,v,..." label pairs. The same name+labels always returns
+// the same *Counter.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	f := r.getFamily(name, KindCounter, nil)
+	return f.getOrCreate(labelKey(labelPairs), labelPairs, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	f := r.getFamily(name, KindGauge, nil)
+	return f.getOrCreate(labelKey(labelPairs), labelPairs, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// name+labels. Bucket bounds are fixed by the first registration of the
+// family; later calls may pass nil.
+func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	f := r.getFamily(name, KindHistogram, buckets)
+	return f.getOrCreate(labelKey(labelPairs), labelPairs, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Help sets the family's help text (shown as # HELP in the exposition).
+// Help registered before the family's first metric is remembered and
+// attached when the family is created.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		f.mu.Lock()
+		f.help = help
+		f.mu.Unlock()
+		return
+	}
+	if r.pendingHelp == nil {
+		r.pendingHelp = make(map[string]string)
+	}
+	r.pendingHelp[name] = help
+}
+
+// Families returns the registered family names, sorted.
+func (r *Registry) Families() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Series is a read-only snapshot of one metric series: its parsed
+// labels and current value (observation count for histograms).
+type Series struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Series snapshots every series of a family (nil for unknown names).
+func (r *Registry) Series(name string) []Series {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]Series, 0, len(f.series))
+	for key, m := range f.series {
+		s := Series{Labels: f.labels[key]}
+		switch v := m.(type) {
+		case *Counter:
+			s.Value = float64(v.Value())
+		case *Gauge:
+			s.Value = v.Value()
+		case *Histogram:
+			s.Value = float64(v.Count())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FindHistogram returns a histogram series of the family without
+// creating one: the unlabeled series if present, else any series.
+// ok is false when the family is missing, empty or not a histogram.
+func (r *Registry) FindHistogram(name string) (*Histogram, bool) {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != KindHistogram {
+		return nil, false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if m, ok := f.series[""]; ok {
+		return m.(*Histogram), true
+	}
+	for _, m := range f.series {
+		return m.(*Histogram), true
+	}
+	return nil, false
+}
+
+// Sum adds up every series of a counter or gauge family; for histogram
+// families it sums observation counts. Unknown families sum to 0 — handy
+// for "requests so far" style summaries without caring about labels.
+func (r *Registry) Sum(name string) float64 {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var total float64
+	for _, m := range f.series {
+		switch v := m.(type) {
+		case *Counter:
+			total += float64(v.Value())
+		case *Gauge:
+			total += v.Value()
+		case *Histogram:
+			total += float64(v.Count())
+		}
+	}
+	return total
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one counter family, one gauge and one
+// histogram from 16 goroutines and checks the totals add up — the
+// acceptance race test (run under -race).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("test_events_total", "shard", []string{"a", "b"}[g%2]).Inc()
+				r.Gauge("test_depth").Add(1)
+				r.Histogram("test_latency_seconds", []float64{0.1, 1, 10}).Observe(0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := r.Counter("test_events_total", "shard", "a").Value() +
+		r.Counter("test_events_total", "shard", "b").Value()
+	if want := int64(goroutines * perG); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("test_depth").Value(); got != float64(goroutines*perG) {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("test_latency_seconds", nil)
+	if h.Count() != int64(goroutines*perG) {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if math.Abs(h.Sum()-0.5*float64(goroutines*perG)) > 1e-6 {
+		t.Fatalf("histogram sum = %v", h.Sum())
+	}
+}
+
+// TestConcurrentRegistration races series creation itself: every
+// goroutine asks for the same metrics and must receive the same
+// underlying instances.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 12
+	counters := make([]*Counter, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			counters[g] = r.Counter("reg_race_total", "k", "v")
+			counters[g].Inc()
+		}(g)
+	}
+	wg.Wait()
+	for _, c := range counters[1:] {
+		if c != counters[0] {
+			t.Fatal("same name+labels returned distinct counters")
+		}
+	}
+	if got := counters[0].Value(); got != goroutines {
+		t.Fatalf("value = %d, want %d", got, goroutines)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	// Bounds are inclusive upper edges: 1 lands in the first bucket,
+	// 1.0001 in the second, 10.5 in +Inf.
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v)
+	}
+	for _, v := range []float64{1.0001, 5} {
+		h.Observe(v)
+	}
+	h.Observe(7)
+	h.Observe(10.5)
+	counts := h.BucketCounts()
+	want := []int64{2, 2, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i % 40))
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 10 || p50 > 30 {
+		t.Fatalf("p50 = %v, want within [10,30]", p50)
+	}
+	if q := h.Quantile(1.0); q > 40 {
+		t.Fatalf("p100 = %v beyond largest bound", q)
+	}
+	empty := newHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+// TestPrometheusExposition pins the exposition format (golden output).
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("demo_requests_total", "Requests handled.")
+	r.Counter("demo_requests_total", "code", "200").Add(3)
+	r.Counter("demo_requests_total", "code", "500").Add(1)
+	r.Gauge("demo_active_conns").Set(2)
+	h := r.Histogram("demo_latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE demo_active_conns gauge
+demo_active_conns 2
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 1
+demo_latency_seconds_bucket{le="1"} 2
+demo_latency_seconds_bucket{le="+Inf"} 3
+demo_latency_seconds_sum 5.55
+demo_latency_seconds_count 3
+# HELP demo_requests_total Requests handled.
+# TYPE demo_requests_total counter
+demo_requests_total{code="200"} 3
+demo_requests_total{code="500"} 1
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelCanonicalisation(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("canon_total", "b", "2", "a", "1")
+	b := r.Counter("canon_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order should not create distinct series")
+	}
+	a.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `canon_total{a="1",b="2"} 1`) {
+		t.Fatalf("canonical label order missing:\n%s", sb.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("conflict_total")
+}
+
+func TestSumAcrossSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sum_total", "x", "1").Add(4)
+	r.Counter("sum_total", "x", "2").Add(6)
+	if got := r.Sum("sum_total"); got != 10 {
+		t.Fatalf("Sum = %v, want 10", got)
+	}
+	if got := r.Sum("missing_total"); got != 0 {
+		t.Fatalf("Sum(missing) = %v, want 0", got)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mux_hits_total").Inc()
+	mux := NewMux(r)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":     "mux_hits_total 1",
+		"/debug/vars":  `"mux_hits_total": 1`,
+		"/debug/pprof": "goroutine",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path + "/"[:0])
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		// pprof index redirects /debug/pprof to /debug/pprof/; follow-ups
+		// are handled by the default client.
+		if resp.StatusCode != 200 && resp.StatusCode != 301 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if resp.StatusCode == 200 && !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("%s: body missing %q:\n%s", path, want, body[:n])
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 10, 3)
+	if lin[0] != 0 || lin[1] != 10 || lin[2] != 20 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 2, 4)
+	if exp[3] != 8 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanData is the exported, serialisable form of a span (sub)tree.
+type SpanData struct {
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanData        `json:"children,omitempty"`
+}
+
+// Duration is End-Start (zero while the span is open).
+func (d SpanData) Duration() time.Duration {
+	if d.End.Before(d.Start) {
+		return 0
+	}
+	return d.End.Sub(d.Start)
+}
+
+// Span is one timed operation in a flow trace. Spans form trees: a page
+// visit is the root, with navigate / intercept / mitm / capture children
+// hung off it by the components the flow crosses. All methods are nil-
+// safe so instrumented code never needs tracer-enabled checks.
+type Span struct {
+	tr *Tracer
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+}
+
+// Child starts a nested span. Child on a nil span returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records a key=value annotation on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span at the tracer's current time. Ending twice keeps
+// the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// Data snapshots the span subtree.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	d := SpanData{Name: s.name, Start: s.start, End: s.end}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Data())
+	}
+	return d
+}
+
+// Tracer collects span trees — in Panoptes, one tree per page visit.
+// A nil *Tracer is a valid no-op tracer: every method works and records
+// nothing, so tracing can be left unwired in tests and ablations.
+type Tracer struct {
+	nowFn func() time.Time
+
+	mu     sync.Mutex
+	roots  []*Span
+	active map[int]*Span // key (browser UID) -> current visit span
+}
+
+// NewTracer creates a tracer stamping spans with now (the virtual clock
+// in the testbed, time.Now on real sockets). A nil now uses time.Now.
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{nowFn: now, active: make(map[int]*Span)}
+}
+
+func (t *Tracer) now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.nowFn()
+}
+
+// Start opens a new root span (a page-visit tree).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: t.now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// SetActive marks sp as the span components keyed by key (a browser UID
+// in Panoptes) should parent their spans under. Pass nil to clear.
+func (t *Tracer) SetActive(key int, sp *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if sp == nil {
+		delete(t.active, key)
+	} else {
+		t.active[key] = sp
+	}
+	t.mu.Unlock()
+}
+
+// Active returns the span registered for key, or nil.
+func (t *Tracer) Active(key int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active[key]
+}
+
+// Roots snapshots every root span tree recorded so far, in start order.
+func (t *Tracer) Roots() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	out := make([]SpanData, len(roots))
+	for i, s := range roots {
+		out[i] = s.Data()
+	}
+	return out
+}
+
+// Reset drops all recorded trees and active registrations.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.roots = nil
+	t.active = make(map[int]*Span)
+	t.mu.Unlock()
+}
+
+// WriteJSONL persists one root span tree (children nested) per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range t.Roots() {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("obs: encode span %q: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// ReadSpansJSONL loads span trees written by WriteJSONL.
+func ReadSpansJSONL(r io.Reader) ([]SpanData, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var out []SpanData
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var d SpanData
+		if err := json.Unmarshal([]byte(text), &d); err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// SortedAttrs returns "k=v" pairs sorted by key, for stable rendering.
+func (d SpanData) SortedAttrs() []string {
+	if len(d.Attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k + "=" + d.Attrs[k]
+	}
+	return out
+}

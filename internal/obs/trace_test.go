@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2023, 5, 12, 9, 0, 0, 0, time.UTC)}
+	tr := NewTracer(clk.now)
+
+	visit := tr.Start("visit")
+	visit.SetAttr("browser", "Chrome")
+	nav := visit.Child("navigate")
+	clk.advance(2 * time.Second)
+	nav.End()
+	mitm := visit.Child("mitm.exchange")
+	mitm.SetAttr("host", "example.com")
+	inner := mitm.Child("forward")
+	clk.advance(time.Second)
+	inner.End()
+	mitm.End()
+	visit.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "visit" || root.Attrs["browser"] != "Chrome" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[0].Name != "navigate" || root.Children[0].Duration() != 2*time.Second {
+		t.Fatalf("navigate span = %+v", root.Children[0])
+	}
+	if len(root.Children[1].Children) != 1 || root.Children[1].Children[0].Name != "forward" {
+		t.Fatalf("nested span missing: %+v", root.Children[1])
+	}
+	if root.Duration() != 3*time.Second {
+		t.Fatalf("visit duration = %v", root.Duration())
+	}
+}
+
+func TestTracerActiveRegistry(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("visit")
+	tr.SetActive(10101, sp)
+	if got := tr.Active(10101); got != sp {
+		t.Fatal("Active did not return the registered span")
+	}
+	if got := tr.Active(99); got != nil {
+		t.Fatal("unknown key should be nil")
+	}
+	tr.SetActive(10101, nil)
+	if got := tr.Active(10101); got != nil {
+		t.Fatal("cleared key should be nil")
+	}
+}
+
+// TestNilTracerSafe checks every instrumentation call is a no-op on a
+// nil tracer/span, so components can be left unwired.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer Start should return nil span")
+	}
+	sp.SetAttr("k", "v")
+	child := sp.Child("y")
+	child.End()
+	sp.End()
+	tr.SetActive(1, sp)
+	if tr.Active(1) != nil || tr.Roots() != nil {
+		t.Fatal("nil tracer should record nothing")
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2023, 5, 12, 9, 0, 0, 0, time.UTC)}
+	tr := NewTracer(clk.now)
+	for i := 0; i < 3; i++ {
+		v := tr.Start("visit")
+		v.SetAttr("url", "https://example.com/")
+		c := v.Child("navigate")
+		clk.advance(time.Second)
+		c.End()
+		v.End()
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("lines = %d, want 3", got)
+	}
+
+	back, err := ReadSpansJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round-trip trees = %d", len(back))
+	}
+	for i, d := range back {
+		if d.Name != "visit" || d.Attrs["url"] != "https://example.com/" {
+			t.Fatalf("tree %d = %+v", i, d)
+		}
+		if len(d.Children) != 1 || d.Children[0].Name != "navigate" {
+			t.Fatalf("tree %d children = %+v", i, d.Children)
+		}
+		if d.Children[0].Duration() != time.Second {
+			t.Fatalf("tree %d navigate duration = %v", i, d.Children[0].Duration())
+		}
+	}
+}
+
+// TestConcurrentSpans attaches children to one visit span from many
+// goroutines, as proxy connection handlers do.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	visit := tr.Start("visit")
+	tr.SetActive(1, visit)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Active(1).Child("mitm.exchange")
+				sp.SetAttr("n", "1")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	visit.End()
+	if got := len(tr.Roots()[0].Children); got != 400 {
+		t.Fatalf("children = %d, want 400", got)
+	}
+}
+
+func TestSortedAttrs(t *testing.T) {
+	d := SpanData{Attrs: map[string]string{"b": "2", "a": "1"}}
+	got := d.SortedAttrs()
+	if len(got) != 2 || got[0] != "a=1" || got[1] != "b=2" {
+		t.Fatalf("SortedAttrs = %v", got)
+	}
+}

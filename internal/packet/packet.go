@@ -192,12 +192,12 @@ func ipChecksum(hdr []byte) uint16 {
 
 // TCP is a TCP header.
 type TCP struct {
-	SrcPort, DstPort uint16
-	Seq, Ack         uint32
+	SrcPort, DstPort        uint16
+	Seq, Ack                uint32
 	SYN, ACK, FIN, RST, PSH bool
-	Window           uint16
-	contents         []byte
-	payload          []byte
+	Window                  uint16
+	contents                []byte
+	payload                 []byte
 }
 
 // LayerType implements Layer.

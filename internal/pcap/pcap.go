@@ -14,9 +14,9 @@ import (
 
 // Magic numbers for microsecond-resolution little-endian pcap.
 const (
-	magicLE       = 0xA1B2C3D4
-	versionMajor  = 2
-	versionMinor  = 4
+	magicLE      = 0xA1B2C3D4
+	versionMajor = 2
+	versionMinor = 4
 	// LinkTypeEthernet is DLT_EN10MB.
 	LinkTypeEthernet = 1
 )

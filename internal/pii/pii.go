@@ -24,18 +24,18 @@ type Attribute string
 
 // Attributes, in the paper's column order.
 const (
-	AttrDeviceType Attribute = "Device Type"
+	AttrDeviceType  Attribute = "Device Type"
 	AttrDeviceManuf Attribute = "Device Manuf."
-	AttrTimezone   Attribute = "Timezone"
-	AttrResolution Attribute = "Resolution"
-	AttrLocalIP    Attribute = "Local IP"
-	AttrDPI        Attribute = "DPI"
-	AttrRooted     Attribute = "Rooted Status"
-	AttrLocale     Attribute = "Locale"
-	AttrCountry    Attribute = "Country"
-	AttrLocation   Attribute = "Location (lat & long)"
-	AttrConnType   Attribute = "Connection Type"
-	AttrNetType    Attribute = "Network Type"
+	AttrTimezone    Attribute = "Timezone"
+	AttrResolution  Attribute = "Resolution"
+	AttrLocalIP     Attribute = "Local IP"
+	AttrDPI         Attribute = "DPI"
+	AttrRooted      Attribute = "Rooted Status"
+	AttrLocale      Attribute = "Locale"
+	AttrCountry     Attribute = "Country"
+	AttrLocation    Attribute = "Location (lat & long)"
+	AttrConnType    Attribute = "Connection Type"
+	AttrNetType     Attribute = "Network Type"
 )
 
 // Columns returns the attributes in presentation order.

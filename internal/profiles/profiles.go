@@ -50,18 +50,18 @@ type NativeTemplate struct {
 
 // PIILeaks mirrors Table 2's columns.
 type PIILeaks struct {
-	DeviceType bool
+	DeviceType  bool
 	DeviceManuf bool
-	Timezone   bool
-	Resolution bool
-	LocalIP    bool
-	DPI        bool
-	Rooted     bool
-	Locale     bool
-	Country    bool
-	LatLong    bool
-	ConnType   bool
-	NetType    bool
+	Timezone    bool
+	Resolution  bool
+	LocalIP     bool
+	DPI         bool
+	Rooted      bool
+	Locale      bool
+	Country     bool
+	LatLong     bool
+	ConnType    bool
+	NetType     bool
 }
 
 // Any reports whether any attribute leaks.
@@ -80,9 +80,9 @@ type IdleDest struct {
 
 // Profile is one browser's full behaviour description.
 type Profile struct {
-	Name    string // display name, as in the paper's figures
-	Package string // Android package, source of the kernel UID
-	Version string // Table 1
+	Name     string // display name, as in the paper's figures
+	Package  string // Android package, source of the kernel UID
+	Version  string // Table 1
 	ChromeUA string // Chromium version advertised in the UA
 
 	Instrumentation Instrumentation
@@ -352,9 +352,9 @@ func QQ() *Profile {
 			"mtt.browser.qq.com", "cloud.browser.qq.com", "pubmatic.com",
 			"res.imtt.qq.com", "pms.mb.qq.com", "cdn1.browser.qq.com",
 		},
-		NoiseBytes: 220, // heavily padded telemetry: the Fig. 4 byte-volume outlier
-		PII:        PIILeaks{DeviceType: true, DeviceManuf: true, Resolution: true},
-		PIICarrier: "wup.browser.qq.com",
+		NoiseBytes:   220, // heavily padded telemetry: the Fig. 4 byte-volume outlier
+		PII:          PIILeaks{DeviceType: true, DeviceManuf: true, Resolution: true},
+		PIICarrier:   "wup.browser.qq.com",
 		LeaksFullURL: true,
 		IdleBurst:    24, IdleTauSec: 15, IdleRatePerMin: 1.8,
 		IdleDests: []IdleDest{
@@ -435,7 +435,7 @@ func Mint() *Profile {
 			"data.mistat.intl.xiaomi.com", "update.intl.miui.com",
 		},
 		NoiseBytes: 80,
-		PII: PIILeaks{Timezone: true, Resolution: true, Locale: true, Country: true},
+		PII:        PIILeaks{Timezone: true, Resolution: true, Locale: true, Country: true},
 		PIICarrier: "api.mintbrowser.com",
 		IdleBurst:  14, IdleTauSec: 13, IdleRatePerMin: 1.2,
 		IdleDests: []IdleDest{

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"panoptes/internal/obs"
+)
+
+// MetricsSummary renders the end-of-campaign observability table: one
+// row per metric family with its total, and p50/p95 for histograms —
+// the operator's view of where time and bytes went.
+func MetricsSummary(w io.Writer, r *obs.Registry) {
+	fmt.Fprintln(w, "Observability summary — metric families (obs registry)")
+	fmt.Fprintf(w, "%-34s %14s %10s %10s\n", "family", "total", "p50", "p95")
+	for _, name := range r.Families() {
+		total := r.Sum(name)
+		p50, p95 := histQuantiles(r, name)
+		if p50 != "" || p95 != "" {
+			fmt.Fprintf(w, "%-34s %14s %10s %10s\n", name, formatCount(total), p50, p95)
+		} else {
+			fmt.Fprintf(w, "%-34s %14s\n", name, formatCount(total))
+		}
+	}
+}
+
+// histQuantiles formats p50/p95 for histogram families ("" otherwise).
+func histQuantiles(r *obs.Registry, name string) (p50, p95 string) {
+	h, ok := r.FindHistogram(name)
+	if !ok || h.Count() == 0 {
+		return "", ""
+	}
+	return formatSeconds(h.Quantile(0.50)), formatSeconds(h.Quantile(0.95))
+}
+
+func formatSeconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Millisecond).String()
+}
+
+func formatCount(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// CampaignObsSummary prints the headline operator numbers after a crawl:
+// cert-cache hit rate, per-visit latency percentiles, proxied exchange
+// and byte totals — the acceptance numbers for every later perf PR.
+func CampaignObsSummary(w io.Writer, r *obs.Registry) {
+	hits := float64(r.Counter("mitm_cert_cache_total", "result", "hit").Value())
+	misses := float64(r.Counter("mitm_cert_cache_total", "result", "miss").Value())
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * hits / (hits + misses)
+	}
+	fmt.Fprintln(w, "Campaign observability summary")
+	fmt.Fprintf(w, "  cert-cache hit rate    %5.1f%% (%d hits, %d misses)\n", rate, int64(hits), int64(misses))
+
+	vh := r.Histogram("core_visit_duration_seconds", nil)
+	if vh.Count() > 0 {
+		fmt.Fprintf(w, "  per-visit latency      p50 %s  p95 %s (%d visits)\n",
+			formatSeconds(vh.Quantile(0.50)), formatSeconds(vh.Quantile(0.95)), vh.Count())
+	}
+	fmt.Fprintf(w, "  proxied exchanges      %d (https %d, http %d)\n",
+		int64(r.Sum("mitm_requests_total")),
+		r.Counter("mitm_requests_total", "scheme", "https").Value(),
+		r.Counter("mitm_requests_total", "scheme", "http").Value())
+	fmt.Fprintf(w, "  proxied bytes          %d up / %d down\n",
+		r.Counter("mitm_bytes_total", "dir", "up").Value(),
+		r.Counter("mitm_bytes_total", "dir", "down").Value())
+	fmt.Fprintf(w, "  flows stored           %d engine / %d native\n",
+		r.Counter("capture_flows_total", "db", "engine").Value(),
+		r.Counter("capture_flows_total", "db", "native").Value())
+	fmt.Fprintf(w, "  dns questions          %d doh / %d stub\n",
+		int64(sumLabel(r, "dns_queries_total", "transport", "doh")),
+		int64(sumLabel(r, "dns_queries_total", "transport", "stub")))
+	fmt.Fprintf(w, "  virtual conns opened   %d (%d dial errors)\n",
+		r.Counter("netsim_conns_opened_total").Value(),
+		r.Counter("netsim_dial_errors_total").Value())
+}
+
+// sumLabel adds every series of family whose label set includes k=v.
+func sumLabel(r *obs.Registry, name, k, v string) float64 {
+	var total float64
+	for _, s := range r.Series(name) {
+		if s.Labels[k] == v {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+const waterfallWidth = 48
+
+// Waterfall renders span trees as an ASCII waterfall: one block per
+// root (page visit), each descendant drawn as a bar positioned at its
+// offset from the visit start, scaled to the visit duration.
+func Waterfall(w io.Writer, trees []obs.SpanData) {
+	for _, root := range trees {
+		total := root.Duration()
+		attrs := root.SortedAttrs()
+		fmt.Fprintf(w, "%s %s  (%s)\n", root.Name, strings.Join(attrs, " "), total.Round(time.Millisecond))
+		var walk func(d obs.SpanData, depth int)
+		walk = func(d obs.SpanData, depth int) {
+			off := d.Start.Sub(root.Start)
+			fmt.Fprintf(w, "  %-26s |%s| %8s @%s\n",
+				strings.Repeat("  ", depth)+d.Name,
+				waterfallBar(off, d.Duration(), total),
+				d.Duration().Round(time.Millisecond),
+				off.Round(time.Millisecond))
+			// Deep trees (one span per intercepted request) stay readable:
+			// children are drawn in start order.
+			children := append([]obs.SpanData(nil), d.Children...)
+			sort.SliceStable(children, func(i, j int) bool { return children[i].Start.Before(children[j].Start) })
+			for _, c := range children {
+				walk(c, depth+1)
+			}
+		}
+		for _, c := range root.Children {
+			walk(c, 0)
+		}
+	}
+}
+
+func waterfallBar(off, dur, total time.Duration) string {
+	if total <= 0 {
+		return strings.Repeat(" ", waterfallWidth)
+	}
+	start := int(float64(off) / float64(total) * waterfallWidth)
+	width := int(float64(dur) / float64(total) * waterfallWidth)
+	if start > waterfallWidth {
+		start = waterfallWidth
+	}
+	if width < 1 {
+		width = 1 // zero-duration spans still get a tick mark
+	}
+	if start+width > waterfallWidth {
+		width = waterfallWidth - start
+		if width < 1 {
+			start, width = waterfallWidth-1, 1
+		}
+	}
+	return strings.Repeat(" ", start) + strings.Repeat("█", width) +
+		strings.Repeat(" ", waterfallWidth-start-width)
+}

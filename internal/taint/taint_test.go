@@ -27,8 +27,8 @@ func TestInject(t *testing.T) {
 
 func TestInjectCDP(t *testing.T) {
 	orig := map[string]string{
-		"User-Agent":      "sim",
-		"Accept":          "*/*",
+		"User-Agent":       "sim",
+		"Accept":           "*/*",
 		"x-panoptes-taint": "stale", // must be replaced, not duplicated
 	}
 	entries := InjectCDP(orig, "fresh")

@@ -308,4 +308,3 @@ const ucInjectedSnippet = `(function(){var _0x4f=['\x68\x72\x65\x66','\x6c\x6f\x
 
 // UCInjectedSnippet exposes the snippet for the engine's injection point.
 func UCInjectedSnippet() string { return ucInjectedSnippet }
-

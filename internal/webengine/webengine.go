@@ -60,13 +60,13 @@ type Config struct {
 
 // PageResult summarises one navigation.
 type PageResult struct {
-	URL            string
-	Status         int
-	Requests       int // engine requests issued, document included
-	Failed         int
-	BytesReceived  int64
-	LoadTimeMs     int64 // modelled DOMContentLoaded latency from the site
-	InjectedOK     bool  // all injections ran
+	URL           string
+	Status        int
+	Requests      int // engine requests issued, document included
+	Failed        int
+	BytesReceived int64
+	LoadTimeMs    int64 // modelled DOMContentLoaded latency from the site
+	InjectedOK    bool  // all injections ran
 }
 
 // Engine is one browser's web engine.

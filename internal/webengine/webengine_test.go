@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"panoptes/internal/netsim"
@@ -65,9 +67,16 @@ func TestNavigateFetchesAllResources(t *testing.T) {
 
 func TestInterceptorSeesEveryRequest(t *testing.T) {
 	e, sites, _ := rig(t)
-	var mu_urls []string
+	var (
+		mu   sync.Mutex
+		urls []string
+	)
 	e.SetInterceptor(func(req *http.Request) error {
-		mu_urls = append(mu_urls, req.URL.String())
+		// Sub-resource fetches run concurrently, so the interceptor is
+		// called from multiple goroutines.
+		mu.Lock()
+		urls = append(urls, req.URL.String())
+		mu.Unlock()
 		req.Header.Set("X-Test-Taint", "yes")
 		return nil
 	})
@@ -75,11 +84,12 @@ func TestInterceptorSeesEveryRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = res
-	if len(mu_urls) < res.Requests {
-		t.Fatalf("interceptor saw %d of %d", len(mu_urls), res.Requests)
+	mu.Lock()
+	seen := len(urls)
+	mu.Unlock()
+	if seen < res.Requests {
+		t.Fatalf("interceptor saw %d of %d", seen, res.Requests)
 	}
-	_ = mu_urls
 }
 
 func TestInterceptorAbortBlocksRequest(t *testing.T) {
@@ -108,11 +118,11 @@ func TestInterceptorAbortBlocksRequest(t *testing.T) {
 
 func TestRequestObserver(t *testing.T) {
 	e, sites, _ := rig(t)
-	n := 0
-	e.SetRequestObserver(func(string) { n++ })
+	var n atomic.Int64
+	e.SetRequestObserver(func(string) { n.Add(1) })
 	res, _ := e.Navigate(sites[0].URL())
-	if n != res.Requests {
-		t.Fatalf("observer saw %d of %d", n, res.Requests)
+	if int(n.Load()) != res.Requests {
+		t.Fatalf("observer saw %d of %d", n.Load(), res.Requests)
 	}
 }
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# ci.sh — the full local verification gate for Panoptes.
+#
+# Runs formatting, vet, build and the test suite, then the race detector
+# over the packages with the hottest concurrency (the obs registry, the
+# MITM proxy and the capture store). Exits non-zero on the first failure.
+#
+# Usage: scripts/ci.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (obs, mitm, capture)"
+go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
+
+echo "==> ci.sh: all checks passed"
