@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +37,7 @@ func main() {
 		sites     = flag.Int("sites", 200, "crawl-list size (paper: 1000; half Tranco, half sensitive)")
 		browsers  = flag.String("browsers", "", "comma-separated browser names (default: all 15)")
 		incognito = flag.Bool("incognito", false, "crawl in incognito mode")
+		parallel  = flag.Int("parallel", 0, "browsers crawled concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		idleDur   = flag.Duration("idle", 10*time.Minute, "idle-experiment duration (virtual time)")
 		outDir    = flag.String("out", "", "directory for JSONL flow databases and CSV outputs")
 		harOut    = flag.Bool("har", false, "with -out: also export HAR 1.2 archives")
@@ -119,10 +121,14 @@ func main() {
 	}
 
 	if needCrawl {
-		fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v)...\n",
-			len(w.Sites), len(selected), *incognito)
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v, parallel=%d)...\n",
+			len(w.Sites), len(selected), *incognito, workers)
 		start := time.Now()
-		res, err := w.RunCampaign(core.CampaignConfig{Incognito: *incognito})
+		res, err := w.RunCampaign(core.CampaignConfig{Incognito: *incognito, Parallelism: *parallel})
 		if err != nil {
 			fatalf("campaign: %v", err)
 		}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"net"
 	"net/url"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"panoptes/internal/capture"
@@ -26,6 +28,98 @@ import (
 	"panoptes/internal/pii"
 )
 
+// reduceShards maps fn over every shard of a store with a bounded worker
+// pool and returns the per-shard partials (indexed by shard). The
+// aggregations built on it (Figures 2–4) combine partials with
+// order-insensitive merges — counts, sums, set unions — so their output
+// is identical to a single sequential pass.
+func reduceShards[T any](s *capture.Store, fn func([]*capture.Flow) T) []T {
+	partials := make([]T, capture.NumShards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > capture.NumShards {
+		workers = capture.NumShards
+	}
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range shardCh {
+				partials[i] = fn(s.ShardSnapshot(i))
+			}
+		}()
+	}
+	for i := 0; i < capture.NumShards; i++ {
+		shardCh <- i
+	}
+	close(shardCh)
+	wg.Wait()
+	return partials
+}
+
+// countByBrowser tallies flows per browser app name across shards.
+func countByBrowser(s *capture.Store) map[string]int {
+	partials := reduceShards(s, func(flows []*capture.Flow) map[string]int {
+		m := map[string]int{}
+		for _, f := range flows {
+			m[f.Browser]++
+		}
+		return m
+	})
+	total := map[string]int{}
+	for _, p := range partials {
+		for b, n := range p {
+			total[b] += n
+		}
+	}
+	return total
+}
+
+// bytesByBrowser sums request wire bytes per browser across shards.
+func bytesByBrowser(s *capture.Store) map[string]int64 {
+	partials := reduceShards(s, func(flows []*capture.Flow) map[string]int64 {
+		m := map[string]int64{}
+		for _, f := range flows {
+			m[f.Browser] += int64(f.ReqBytes)
+		}
+		return m
+	})
+	total := map[string]int64{}
+	for _, p := range partials {
+		for b, n := range p {
+			total[b] += n
+		}
+	}
+	return total
+}
+
+// hostsByBrowser collects the distinct destination hosts per browser.
+func hostsByBrowser(s *capture.Store) map[string]map[string]bool {
+	partials := reduceShards(s, func(flows []*capture.Flow) map[string]map[string]bool {
+		m := map[string]map[string]bool{}
+		for _, f := range flows {
+			if m[f.Browser] == nil {
+				m[f.Browser] = map[string]bool{}
+			}
+			m[f.Browser][f.Host] = true
+		}
+		return m
+	})
+	total := map[string]map[string]bool{}
+	for _, p := range partials {
+		for b, hosts := range p {
+			if total[b] == nil {
+				total[b] = map[string]bool{}
+			}
+			for h := range hosts {
+				total[b][h] = true
+			}
+		}
+	}
+	return total
+}
+
 // Fig2Row is one browser's engine/native request counts (Figure 2).
 type Fig2Row struct {
 	Browser string
@@ -34,15 +128,16 @@ type Fig2Row struct {
 	Ratio   float64 // native / engine
 }
 
-// Fig2 computes request counts per browser.
+// Fig2 computes request counts per browser. Both databases are tallied
+// shard-parallel; the per-browser counts are merge-order invariant.
 func Fig2(db *capture.DB, browsers []string) []Fig2Row {
+	engine := countByBrowser(db.Engine)
+	native := countByBrowser(db.Native)
 	rows := make([]Fig2Row, 0, len(browsers))
 	for _, b := range browsers {
-		e := len(db.Engine.ByBrowser(b))
-		n := len(db.Native.ByBrowser(b))
-		r := Fig2Row{Browser: b, Engine: e, Native: n}
-		if e > 0 {
-			r.Ratio = float64(n) / float64(e)
+		r := Fig2Row{Browser: b, Engine: engine[b], Native: native[b]}
+		if r.Engine > 0 {
+			r.Ratio = float64(r.Native) / float64(r.Engine)
 		}
 		rows = append(rows, r)
 	}
@@ -62,12 +157,10 @@ type Fig3Row struct {
 // captured) receiving native requests that the hosts list classifies as
 // ad/analytics-related.
 func Fig3(native *capture.Store, list *hostlist.List, browsers []string) []Fig3Row {
+	perBrowser := hostsByBrowser(native)
 	rows := make([]Fig3Row, 0, len(browsers))
 	for _, b := range browsers {
-		domains := map[string]bool{}
-		for _, f := range native.ByBrowser(b) {
-			domains[f.Host] = true
-		}
+		domains := perBrowser[b]
 		row := Fig3Row{Browser: b, DistinctDomains: len(domains)}
 		for d := range domains {
 			if list.AdRelated(d) {
@@ -92,20 +185,15 @@ type Fig4Row struct {
 	OverheadPct float64 // native as % of engine
 }
 
-// Fig4 sums outgoing (request) bytes per browser.
+// Fig4 sums outgoing (request) bytes per browser, shard-parallel.
 func Fig4(db *capture.DB, browsers []string) []Fig4Row {
+	engine := bytesByBrowser(db.Engine)
+	native := bytesByBrowser(db.Native)
 	rows := make([]Fig4Row, 0, len(browsers))
 	for _, b := range browsers {
-		var eng, nat int64
-		for _, f := range db.Engine.ByBrowser(b) {
-			eng += int64(f.ReqBytes)
-		}
-		for _, f := range db.Native.ByBrowser(b) {
-			nat += int64(f.ReqBytes)
-		}
-		r := Fig4Row{Browser: b, EngineBytes: eng, NativeBytes: nat}
-		if eng > 0 {
-			r.OverheadPct = 100 * float64(nat) / float64(eng)
+		r := Fig4Row{Browser: b, EngineBytes: engine[b], NativeBytes: native[b]}
+		if r.EngineBytes > 0 {
+			r.OverheadPct = 100 * float64(r.NativeBytes) / float64(r.EngineBytes)
 		}
 		rows = append(rows, r)
 	}

@@ -78,6 +78,15 @@ type Browser struct {
 	opts  Options
 	dev   *device.Device
 	clock *vclock.Clock
+	// activity is the browser's private clock: it measures virtual time
+	// the app itself experiences (page loads, settle windows, idle
+	// waiting) and drives the idle phone-home scheduler. It is advanced
+	// only by whoever is driving this browser — under a parallel
+	// campaign, the one worker crawling it — so a browser's idle curve
+	// depends solely on its own timeline, never on how many other
+	// browsers happen to be advancing the shared world clock. Flow
+	// timestamps and TLS validation keep using the world clock.
+	activity *vclock.Clock
 
 	engine       *webengine.Engine
 	nativeClient *http.Client
@@ -115,13 +124,14 @@ type Browser struct {
 func New(p *profiles.Profile, opts Options) *Browser {
 	pkg := opts.Device.Install(p.Package)
 	b := &Browser{
-		Profile: p,
-		Pkg:     pkg,
-		opts:    opts,
-		dev:     opts.Device,
-		clock:   opts.Clock,
-		paused:  make(map[string]chan []cdp.HeaderEntry),
-		rng:     rand.New(rand.NewSource(int64(hashString(p.Package)))),
+		Profile:  p,
+		Pkg:      pkg,
+		opts:     opts,
+		dev:      opts.Device,
+		clock:    opts.Clock,
+		activity: vclock.NewAt(opts.Clock.Now()),
+		paused:   make(map[string]chan []cdp.HeaderEntry),
+		rng:      rand.New(rand.NewSource(int64(hashString(p.Package)))),
 	}
 	return b
 }
@@ -174,7 +184,7 @@ func (b *Browser) Launch() error {
 	}
 	b.mu.Lock()
 	b.uuid = uuid
-	b.idleStart = b.clock.Now()
+	b.idleStart = b.activity.Now()
 	b.mu.Unlock()
 
 	b.buildClients()
@@ -188,10 +198,20 @@ func (b *Browser) Launch() error {
 		b.opts.FridaDevice.Register(b.Pkg.Name, b.fridaExports())
 	}
 
-	// Idle scheduler: wakes every 5 virtual seconds and tops issued
-	// requests up to the profile's cumulative curve.
-	b.idleTicker = b.clock.Tick(5*time.Second, b.idleTick)
+	// Idle scheduler: wakes every 5 virtual seconds of the browser's own
+	// activity time and tops issued requests up to the profile's
+	// cumulative curve.
+	b.idleTicker = b.activity.Tick(5*time.Second, b.idleTick)
 	return nil
+}
+
+// AdvanceActivity moves the browser's private activity clock forward,
+// firing any idle-scheduler ticks that fall due. The campaign scheduler
+// calls it once per visit (modelled load time plus settle) and the idle
+// experiment steps it in lockstep with the world clock; tests drive it
+// directly to elicit idle traffic.
+func (b *Browser) AdvanceActivity(d time.Duration) {
+	b.activity.Advance(d)
 }
 
 func (b *Browser) mintUUID() string {
@@ -405,7 +425,7 @@ func (b *Browser) idleTick() {
 		b.mu.Unlock()
 		return
 	}
-	t := b.clock.Now().Sub(b.idleStart).Seconds()
+	t := b.activity.Now().Sub(b.idleStart).Seconds()
 	p := b.Profile
 	expected := p.IdleBurst*(1-math.Exp(-t/p.IdleTauSec)) + p.IdleRatePerMin*t/60
 	var dests []profiles.IdleDest

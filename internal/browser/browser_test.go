@@ -198,18 +198,20 @@ func TestIdleCurveShape(t *testing.T) {
 	w := newWorld(t, "Opera", "Chrome")
 	opera := launchReady(t, w, "Opera")
 	chrome := launchReady(t, w, "Chrome")
-	_ = opera
-	_ = chrome
 
 	news := w.Vendors.Backend("news.opera-api.com")
 	gstatic := w.Vendors.Backend("t0.gstatic.com")
 
 	// One virtual minute: Chrome's burst dominates; by ten minutes
 	// Opera's linear feed polling has overtaken its own first minute.
-	w.Clock.Advance(1 * time.Minute)
+	// Idle time is per-browser activity time, so each browser's clock is
+	// advanced explicitly.
+	opera.AdvanceActivity(1 * time.Minute)
+	chrome.AdvanceActivity(1 * time.Minute)
 	newsAt1 := news.Count()
 	gstaticAt1 := gstatic.Count()
-	w.Clock.Advance(9 * time.Minute)
+	opera.AdvanceActivity(9 * time.Minute)
+	chrome.AdvanceActivity(9 * time.Minute)
 	newsAt10 := news.Count()
 	gstaticAt10 := gstatic.Count()
 
@@ -229,11 +231,11 @@ func TestIdleCurveShape(t *testing.T) {
 func TestStopHaltsIdleTraffic(t *testing.T) {
 	w := newWorld(t, "Edge")
 	b := launchReady(t, w, "Edge")
-	w.Clock.Advance(30 * time.Second)
+	b.AdvanceActivity(30 * time.Second)
 	b.Stop()
 	msn := w.Vendors.Backend("msn.com")
 	before := msn.Count()
-	w.Clock.Advance(5 * time.Minute)
+	b.AdvanceActivity(5 * time.Minute)
 	if msn.Count() != before {
 		t.Fatalf("idle traffic after stop: %d → %d", before, msn.Count())
 	}

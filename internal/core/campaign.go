@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"panoptes/internal/browser"
@@ -26,6 +30,7 @@ var (
 	mCampaigns    = obs.Default.Counter("core_campaigns_total")
 	mCampaignProg = obs.Default.Gauge("core_campaign_progress_visits")
 	mBrowsersDone = obs.Default.Counter("core_browsers_crawled_total")
+	mParallelism  = obs.Default.Gauge("core_campaign_parallelism")
 )
 
 func init() {
@@ -34,6 +39,8 @@ func init() {
 	obs.Default.Help("core_campaigns_total", "Campaigns started.")
 	obs.Default.Help("core_campaign_progress_visits", "Visits completed in the currently running campaign.")
 	obs.Default.Help("core_browsers_crawled_total", "Per-browser crawls completed.")
+	obs.Default.Help("core_campaign_parallelism", "Worker count of the currently running campaign.")
+	obs.Default.Help("core_worker_visits_total", "Visits completed by each campaign scheduler worker.")
 }
 
 // CampaignConfig selects what a crawl visits and how.
@@ -53,6 +60,11 @@ type CampaignConfig struct {
 	// NavigateTimeout is the page-load ceiling (paper: 60 s, wall clock
 	// on the CDP channel).
 	NavigateTimeout time.Duration
+	// Parallelism is how many browsers are crawled concurrently. Each
+	// browser has its own UID, Appium session and iptables diversion, so
+	// the crawl is embarrassingly parallel per browser; 1 preserves the
+	// sequential behaviour and 0 (the default) means GOMAXPROCS.
+	Parallelism int
 }
 
 func (c *CampaignConfig) defaults(w *World) {
@@ -72,6 +84,9 @@ func (c *CampaignConfig) defaults(w *World) {
 	if c.NavigateTimeout <= 0 {
 		c.NavigateTimeout = 60 * time.Second
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
 // VisitRecord is one page visit's outcome.
@@ -89,18 +104,44 @@ type CampaignResult struct {
 	Errors  int
 }
 
+// crawlOutcome is one browser's crawl as a worker produced it, merged
+// into the CampaignResult in profile order after the pool drains.
+type crawlOutcome struct {
+	visits []VisitRecord
+	errors int
+	err    error
+}
+
 // RunCampaign reproduces §2.1's crawl procedure per browser: reset to
 // factory settings via Appium, launch, click through the setup wizard,
 // divert the browser's UID into the proxy, instrument (CDP or Frida) so
 // every engine request is tainted, visit each site (waiting
 // DOMContentLoaded plus the settle period on the virtual clock), then
 // tear down.
+//
+// Browsers are crawled by a pool of cfg.Parallelism workers. Each
+// browser is an isolated unit of work (own UID, Appium session,
+// diversion rule, activity clock), so workers only contend on the
+// sharded capture stores, the proxy's singleflighted cert cache and the
+// serialized world clock. Per-browser visit records are collected
+// privately and merged in cfg.Browsers order, making the result — and
+// everything the analysis package derives from the capture databases —
+// independent of the parallelism level.
 func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	cfg.defaults(w)
 	result := &CampaignResult{}
 	mCampaigns.Inc()
 	mCampaignProg.Set(0)
+	mParallelism.Set(float64(cfg.Parallelism))
 
+	// Resolve every profile up front so an unknown browser name fails
+	// before any crawl starts, exactly as the sequential loop did.
+	type job struct {
+		idx  int
+		name string
+		b    *browser.Browser
+	}
+	var jobs []job
 	for _, name := range cfg.Browsers {
 		b, err := w.Browser(name)
 		if err != nil {
@@ -110,54 +151,113 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			result.Skipped = append(result.Skipped, name)
 			continue
 		}
-		if err := w.crawlBrowser(b, cfg, result); err != nil {
-			return result, fmt.Errorf("core: campaign on %s: %w", name, err)
+		jobs = append(jobs, job{idx: len(jobs), name: name, b: b})
+	}
+
+	workers := cfg.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	outcomes := make([]crawlOutcome, len(jobs))
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			visits := obs.Default.Counter("core_worker_visits_total", "worker", strconv.Itoa(workerID))
+			for j := range jobCh {
+				if failed.Load() {
+					// A browser already failed: stop starting new crawls,
+					// mirroring the sequential early return. In-flight
+					// browsers on other workers run to completion.
+					continue
+				}
+				out := w.crawlBrowser(j.b, cfg, visits)
+				outcomes[j.idx] = out
+				if out.err != nil {
+					failed.Store(true)
+				} else {
+					mBrowsersDone.Inc()
+				}
+			}
+		}(i)
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Deterministic merge: visit records in profile order, each
+	// browser's sites in visit order; the error reported is the first in
+	// profile order, matching what the sequential loop would have hit.
+	var firstErr error
+	for i, out := range outcomes {
+		result.Visits = append(result.Visits, out.visits...)
+		result.Errors += out.errors
+		if out.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: campaign on %s: %w", jobs[i].name, out.err)
 		}
-		mBrowsersDone.Inc()
+	}
+	if firstErr != nil {
+		return result, firstErr
 	}
 	return result, nil
 }
 
 // crawlBrowser runs one browser's full crawl.
-func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, result *CampaignResult) error {
+func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisits *obs.Counter) (out crawlOutcome) {
 	sess, err := w.AppiumClient.NewSession(b.Pkg.Name)
 	if err != nil {
-		return err
+		out.err = err
+		return out
 	}
 	defer sess.Close()
 
 	if !cfg.SkipReset {
 		if err := sess.Reset(); err != nil {
-			return fmt.Errorf("appium reset: %w", err)
+			out.err = fmt.Errorf("appium reset: %w", err)
+			return out
 		}
 	} else if b.Running() {
 		b.Stop()
 	}
 	if err := sess.Launch(); err != nil {
-		return fmt.Errorf("appium launch: %w", err)
+		out.err = fmt.Errorf("appium launch: %w", err)
+		return out
 	}
 	defer sess.Terminate()
 	if err := sess.CompleteWizard(); err != nil {
-		return fmt.Errorf("setup wizard: %w", err)
+		out.err = fmt.Errorf("setup wizard: %w", err)
+		return out
 	}
 
 	// Divert the browser's kernel UID into the transparent proxy.
 	if !w.Device.DiversionActive(b.UID()) {
 		if err := w.Device.DivertBrowser(b.UID(), ProxyAddr); err != nil {
-			return fmt.Errorf("iptables diversion: %w", err)
+			out.err = fmt.Errorf("iptables diversion: %w", err)
+			return out
 		}
 	}
 
 	if cfg.Incognito {
 		if err := b.SetIncognito(true); err != nil {
-			return err
+			out.err = err
+			return out
 		}
 		defer b.SetIncognito(false)
 	}
 
 	navigate, teardown, err := w.instrument(b)
 	if err != nil {
-		return fmt.Errorf("instrumentation: %w", err)
+		out.err = fmt.Errorf("instrumentation: %w", err)
+		return out
 	}
 	defer teardown()
 
@@ -174,7 +274,7 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, result *Cam
 		rec := VisitRecord{Browser: b.Profile.Name, URL: url, LoadTimeMs: loadMs}
 		if navErr != nil {
 			rec.Err = navErr.Error()
-			result.Errors++
+			out.errors++
 			navSpan.SetAttr("error", navErr.Error())
 			mVisitErr.Inc()
 		} else {
@@ -183,21 +283,26 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, result *Cam
 		// DOMContentLoaded (modelled load time) plus the settle window,
 		// on the virtual clock — §2.1's wait discipline. The advance is
 		// split so the navigate and settle spans carry their real virtual
-		// durations.
+		// durations. Concurrent workers serialize on the world clock
+		// (flow timestamps, TLS validation time) but each drives only its
+		// own browser's activity clock, so a browser's idle phone-home
+		// curve sees the same timeline at any parallelism level.
 		w.Clock.Advance(time.Duration(loadMs) * time.Millisecond)
 		navSpan.End()
 		settleSpan := visitSpan.Child("settle")
 		w.Clock.Advance(cfg.Settle)
 		settleSpan.End()
+		b.AdvanceActivity(time.Duration(loadMs)*time.Millisecond + cfg.Settle)
 
 		w.Visits.EndVisit(b.UID())
 		w.Trace.SetActive(b.UID(), nil)
 		visitSpan.End()
 		mVisitLatency.Observe((time.Duration(loadMs)*time.Millisecond + cfg.Settle).Seconds())
 		mCampaignProg.Inc()
-		result.Visits = append(result.Visits, rec)
+		workerVisits.Inc()
+		out.visits = append(out.visits, rec)
 	}
-	return nil
+	return out
 }
 
 // navigateFunc drives one page visit and returns the modelled load time.

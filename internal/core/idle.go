@@ -54,8 +54,22 @@ func (w *World) RunIdle(browserName string, duration time.Duration) (*IdleResult
 	idleSpan.SetAttr("browser", browserName)
 	w.Trace.SetActive(uid, idleSpan)
 
+	// Step the world clock and the browser's activity clock together in
+	// ticker-sized increments: the idle scheduler fires on the activity
+	// clock, and advancing the world clock to each tick instant first
+	// stamps those flows at the same virtual times a single shared-clock
+	// advance used to — which is what Figure 5's binning consumes.
 	start := w.Clock.Now()
-	w.Clock.Advance(duration)
+	const step = 5 * time.Second
+	for remaining := duration; remaining > 0; {
+		d := step
+		if remaining < d {
+			d = remaining
+		}
+		w.Clock.Advance(d)
+		b.AdvanceActivity(d)
+		remaining -= d
+	}
 	end := w.Clock.Now()
 
 	w.Trace.SetActive(uid, nil)

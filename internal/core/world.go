@@ -44,6 +44,10 @@ type WorldConfig struct {
 	// DisableCertCache / DisableKeepAlive feed the proxy ablations.
 	DisableCertCache bool
 	DisableKeepAlive bool
+	// UpstreamRTT models wall-clock wide-area latency on every proxied
+	// exchange (see mitm.Config.UpstreamRTT). Zero — the default, and
+	// what every test uses — keeps the instant in-memory network.
+	UpstreamRTT time.Duration
 }
 
 // World is the fully-assembled testbed.
@@ -163,6 +167,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Now:              clock.Now,
 		DisableCertCache: cfg.DisableCertCache,
 		DisableKeepAlive: cfg.DisableKeepAlive,
+		UpstreamRTT:      cfg.UpstreamRTT,
 		Trace:            w.Trace,
 	})
 	if err != nil {

@@ -16,8 +16,10 @@ import (
 	"encoding/hex"
 	"net/url"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"panoptes/internal/capture"
 )
@@ -157,9 +159,48 @@ func NewDetector() *Detector { return &Detector{Encodings: AllEncodings()} }
 // Scan inspects every native flow that occurred during a visit and
 // reports leaks of that visit's URL or host to any destination other
 // than the visited site itself.
+//
+// The scan — digest and Base64 computation per candidate flow is the
+// analysis pipeline's hottest loop — fans out across the store's shards
+// with a bounded worker pool. Findings are returned in a canonical sort
+// order (browser, visit URL, destination, kind, encoding, flow ID), so
+// the output is a pure function of the flow set regardless of shard
+// placement or worker interleaving.
 func (d *Detector) Scan(native *capture.Store) []Finding {
+	perShard := make([][]Finding, capture.NumShards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > capture.NumShards {
+		workers = capture.NumShards
+	}
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range shardCh {
+				perShard[i] = d.scanFlows(native.ShardSnapshot(i))
+			}
+		}()
+	}
+	for i := 0; i < capture.NumShards; i++ {
+		shardCh <- i
+	}
+	close(shardCh)
+	wg.Wait()
+
 	var out []Finding
-	for _, f := range native.All() {
+	for _, fs := range perShard {
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// scanFlows runs the per-flow leak search over one slice of flows.
+func (d *Detector) scanFlows(flows []*capture.Flow) []Finding {
+	var out []Finding
+	for _, f := range flows {
 		if f.VisitURL == "" {
 			continue
 		}
@@ -191,6 +232,30 @@ func (d *Detector) Scan(native *capture.Store) []Finding {
 		}
 	}
 	return out
+}
+
+// sortFindings puts findings in their canonical order: stable, human-
+// scannable, and independent of which shard or goroutine surfaced them.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Browser != b.Browser {
+			return a.Browser < b.Browser
+		}
+		if a.VisitURL != b.VisitURL {
+			return a.VisitURL < b.VisitURL
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Encoding != b.Encoding {
+			return a.Encoding < b.Encoding
+		}
+		return a.FlowID < b.FlowID
+	})
 }
 
 // Summary aggregates findings per browser.

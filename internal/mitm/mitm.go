@@ -105,11 +105,22 @@ type Proxy struct {
 	mu        sync.Mutex
 	addons    []Addon
 	certCache map[string]*tls.Certificate
-	certMiss  int
-	certHit   int
-	hsFails   int
-	transport *http.Transport
-	closed    bool
+	// certFlight dedupes concurrent cold-cache mints per host: the first
+	// handshake to miss becomes the minter, later ones wait on its call.
+	certFlight  map[string]*certCall
+	certMiss    int
+	certHit     int
+	hsFails     int
+	transport   *http.Transport
+	upstreamRTT time.Duration
+	closed      bool
+}
+
+// certCall is one in-flight leaf mint waiters block on.
+type certCall struct {
+	done chan struct{}
+	cert *tls.Certificate
+	err  error
 }
 
 // Config bundles proxy construction inputs.
@@ -122,6 +133,14 @@ type Config struct {
 	DisableCertCache bool
 	// DisableKeepAlive turns off upstream connection reuse (ablation).
 	DisableKeepAlive bool
+	// UpstreamRTT models the wide-area round trip to the destination on
+	// the wall clock, one sleep per forwarded exchange. The in-memory
+	// Internet delivers bytes instantly, which leaves a simulated crawl
+	// purely CPU-bound — unlike the paper's testbed, where page loads
+	// wait on a real network and a concurrent scheduler wins by
+	// overlapping those waits. Zero (the default) keeps the instant
+	// network.
+	UpstreamRTT time.Duration
 	// Trace receives per-exchange flow spans (may be nil).
 	Trace *obs.Tracer
 }
@@ -134,9 +153,11 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now, Trace: cfg.Trace}
+	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now, Trace: cfg.Trace,
+		upstreamRTT: cfg.UpstreamRTT}
 	if !cfg.DisableCertCache {
 		p.certCache = make(map[string]*tls.Certificate)
+		p.certFlight = make(map[string]*certCall)
 	}
 	p.transport = &http.Transport{
 		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
@@ -343,31 +364,56 @@ type peekedConn struct {
 func (pc *peekedConn) Read(b []byte) (int, error) { return pc.r.Read(b) }
 
 // leafFor returns (minting if needed) the interception certificate for a
-// host.
+// host. Concurrent cold-cache handshakes for the same host are
+// singleflighted: one caller mints (a cache miss), the rest wait for it
+// and count as hits — they were served without a signing operation.
 func (p *Proxy) leafFor(host string) (*tls.Certificate, error) {
 	p.mu.Lock()
-	if p.certCache != nil {
-		if c, ok := p.certCache[host]; ok {
-			p.certHit++
-			p.mu.Unlock()
-			mCertHit.Inc()
-			return c, nil
+	if p.certCache == nil {
+		// Cache-disabled ablation: no dedup either, every handshake pays
+		// the full mint — that per-mint cost is what the ablation measures.
+		p.certMiss++
+		p.mu.Unlock()
+		mCertMiss.Inc()
+		cert, err := p.CA.Issue(host)
+		if err != nil {
+			return nil, fmt.Errorf("mitm: mint certificate for %s: %w", host, err)
 		}
+		return &cert, nil
 	}
+	if c, ok := p.certCache[host]; ok {
+		p.certHit++
+		p.mu.Unlock()
+		mCertHit.Inc()
+		return c, nil
+	}
+	if call, ok := p.certFlight[host]; ok {
+		p.certHit++
+		p.mu.Unlock()
+		mCertHit.Inc()
+		<-call.done
+		return call.cert, call.err
+	}
+	call := &certCall{done: make(chan struct{})}
+	p.certFlight[host] = call
 	p.certMiss++
 	p.mu.Unlock()
 	mCertMiss.Inc()
 
 	cert, err := p.CA.Issue(host)
 	if err != nil {
-		return nil, fmt.Errorf("mitm: mint certificate for %s: %w", host, err)
+		call.err = fmt.Errorf("mitm: mint certificate for %s: %w", host, err)
+	} else {
+		call.cert = &cert
 	}
 	p.mu.Lock()
-	if p.certCache != nil {
-		p.certCache[host] = &cert
+	if call.err == nil {
+		p.certCache[host] = call.cert
 	}
+	delete(p.certFlight, host)
 	p.mu.Unlock()
-	return &cert, nil
+	close(call.done)
+	return call.cert, call.err
 }
 
 // serveHTTP handles a keep-alive sequence of HTTP/1.1 requests on one
@@ -533,6 +579,9 @@ func (p *Proxy) forward(req *http.Request, scheme, host, port string) (*http.Res
 	out.Header = req.Header.Clone()
 	out.Header.Del("Proxy-Connection")
 	out.ContentLength = req.ContentLength
+	if p.upstreamRTT > 0 {
+		time.Sleep(p.upstreamRTT)
+	}
 	resp, err := p.transport.RoundTrip(out)
 	if err != nil {
 		return nil, fmt.Errorf("mitm: upstream %s: %w", outURL.Host, err)

@@ -1,0 +1,94 @@
+package mitm
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"panoptes/internal/pki"
+)
+
+// TestLeafCertSingleflight hammers a cold cert cache from 32 goroutines
+// asking for the same host: exactly one mint (miss) may happen, everyone
+// else must wait for it and be served the same certificate as a hit.
+func TestLeafCertSingleflight(t *testing.T) {
+	ca, err := pki.NewCA("singleflight test CA", time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{CA: ca, Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, errors.New("no upstream in this test")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 32
+	certs := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			c, err := p.leafFor("tracker.example.com")
+			if err != nil {
+				t.Errorf("leafFor: %v", err)
+				return
+			}
+			certs[i] = c
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	hits, misses := p.CertCacheStats()
+	if misses != 1 {
+		t.Fatalf("cold cache minted %d times for one host, want exactly 1", misses)
+	}
+	if hits != callers-1 {
+		t.Fatalf("hits = %d, want %d (waiters count as hits)", hits, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if certs[i] != certs[0] {
+			t.Fatalf("caller %d got a different certificate pointer", i)
+		}
+	}
+
+	// A second host is its own flight.
+	if _, err := p.leafFor("other.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.CertCacheStats(); misses != 2 {
+		t.Fatalf("misses after second host = %d, want 2", misses)
+	}
+}
+
+// TestLeafCertNoCacheNoDedup checks the cache-disabled ablation still
+// pays one mint per handshake — disabling the cache must disable the
+// singleflight too, or the ablation would stop measuring mint cost.
+func TestLeafCertNoCacheNoDedup(t *testing.T) {
+	ca, err := pki.NewCA("ablation test CA", time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{CA: ca, DisableCertCache: true, Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, errors.New("no upstream in this test")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.leafFor("tracker.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := p.CertCacheStats()
+	if hits != 0 || misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 0/3", hits, misses)
+	}
+}

@@ -10,7 +10,11 @@ package vclock
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,12 +29,20 @@ var Epoch = time.Date(2023, time.May, 12, 9, 0, 0, 0, time.UTC)
 // clock. A callback may schedule further timers (including at the current
 // instant) and may perform blocking work such as in-memory network I/O;
 // the clock does not advance while a callback runs.
+//
+// Advance and AdvanceTo may be called from multiple goroutines: advances
+// are serialized, each one running to completion (all due timers fired)
+// before the next begins. A timer callback advancing its own clock still
+// panics — with serialization alone that mistake would deadlock instead
+// of failing loudly.
 type Clock struct {
-	mu      sync.Mutex
-	now     time.Time
-	timers  timerHeap
-	seq     uint64 // tie-break for timers scheduled at the same instant
-	running bool   // an Advance loop is in progress
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    uint64 // tie-break for timers scheduled at the same instant
+
+	advMu   sync.Mutex   // serializes cross-goroutine advances
+	advGoID atomic.Int64 // goroutine running the current advance; 0 when idle
 }
 
 // New returns a Clock set to Epoch.
@@ -158,31 +170,49 @@ func (tk *Ticker) Stop() {
 // Advance moves the clock forward by d, firing every timer due in the
 // window in timestamp order (FIFO among equal timestamps). Callbacks run
 // synchronously; timers they schedule inside the window also fire.
-// Advance panics on negative d and on reentrant use.
+// Advance panics on negative d and on reentrant use. Concurrent Advance
+// calls serialize and compose: the deltas accumulate, each advance
+// starting from wherever the previous one ended.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %v", d))
 	}
-	c.AdvanceTo(c.Now().Add(d))
+	defer c.beginAdvance()()
+	// The target is computed under the advance lock so that relative
+	// advances from different goroutines never collapse onto the same
+	// instant.
+	c.advanceLoop(c.Now().Add(d))
 }
 
 // AdvanceTo moves the clock forward to the given instant, firing due
 // timers. Instants not after the current time fire only timers due at or
-// before them without moving the clock backwards.
+// before them without moving the clock backwards. Concurrent calls are
+// serialized; a later-started advance with an earlier target is then a
+// no-op, which keeps time monotonic.
 func (c *Clock) AdvanceTo(target time.Time) {
-	c.mu.Lock()
-	if c.running {
-		c.mu.Unlock()
+	defer c.beginAdvance()()
+	c.advanceLoop(target)
+}
+
+// beginAdvance takes the advance lock for the calling goroutine, first
+// panicking if that goroutine is already mid-advance (a timer callback
+// advancing its own clock). It returns the matching release func.
+func (c *Clock) beginAdvance() func() {
+	gid := goid()
+	if c.advGoID.Load() == gid {
 		panic("vclock: reentrant Advance (a timer callback advanced the clock)")
 	}
-	c.running = true
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		c.running = false
-		c.mu.Unlock()
-	}()
+	c.advMu.Lock()
+	c.advGoID.Store(gid)
+	return func() {
+		c.advGoID.Store(0)
+		c.advMu.Unlock()
+	}
+}
 
+// advanceLoop fires timers up to target and moves the clock there.
+// Callers hold the advance lock.
+func (c *Clock) advanceLoop(target time.Time) {
 	for {
 		c.mu.Lock()
 		if len(c.timers) == 0 || c.timers[0].when.After(target) {
@@ -258,6 +288,24 @@ func (c *Clock) Drain(limit int) int {
 		// but the loop terminates regardless because timers only drain.
 	}
 	return fired
+}
+
+// goid returns the calling goroutine's ID, parsed from the stack header
+// ("goroutine N [running]:"). It is how AdvanceTo tells a reentrant
+// advance (same goroutine, inside a timer callback — a bug to panic on)
+// apart from a concurrent one (different goroutine — serialized and
+// legal). The parse costs a few hundred nanoseconds, negligible against
+// the per-visit cadence at which the clock is advanced.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseInt(s[:i], 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
 }
 
 // timerHeap is a min-heap ordered by (when, seq).

@@ -2,6 +2,7 @@ package vclock
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -326,6 +327,35 @@ func TestTimerWhen(t *testing.T) {
 	tm := c.AfterFunc(90*time.Second, func() {})
 	if want := Epoch.Add(90 * time.Second); !tm.When().Equal(want) {
 		t.Fatalf("When = %v, want %v", tm.When(), want)
+	}
+}
+
+func TestConcurrentAdvances(t *testing.T) {
+	// Many goroutines advancing the same clock must serialize: every due
+	// timer fires exactly once and the clock lands on the furthest target.
+	c := New()
+	const ticks = 200
+	var fired atomic.Int64
+	tk := c.Tick(time.Second, func() { fired.Add(1) })
+	defer tk.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks/8; i++ {
+				c.Advance(time.Second)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Since(Epoch); got != ticks*time.Second {
+		t.Fatalf("clock advanced %v, want %v", got, ticks*time.Second)
+	}
+	if got := fired.Load(); got != ticks {
+		t.Fatalf("ticker fired %d times, want %d", got, ticks)
 	}
 }
 

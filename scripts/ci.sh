@@ -30,4 +30,10 @@ go test ./...
 echo "==> go test -race (obs, mitm, capture)"
 go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
 
+echo "==> go test -race (core, leak: the concurrent campaign scheduler)"
+go test -race ./internal/core/... ./internal/leak/...
+
+echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N)"
+go test -run '^$' -bench CrawlScaling -benchtime=1x .
+
 echo "==> ci.sh: all checks passed"
