@@ -26,6 +26,7 @@ import (
 	"panoptes/internal/analysis"
 	"panoptes/internal/blocker"
 	"panoptes/internal/core"
+	"panoptes/internal/faultsim"
 	"panoptes/internal/leak"
 	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
@@ -45,6 +46,11 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		waterfall   = flag.Int("waterfall", 0, "print an ASCII waterfall for the first N page-visit span trees")
+
+		faultRate  = flag.Float64("faults", 0, "fault-injection rate per (browser, site, attempt), 0..1 over every fault kind")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault plan (with -faults)")
+		checkpoint = flag.String("checkpoint", "", "write a resumable campaign checkpoint (JSON) to this path")
+		resumeFrom = flag.String("resume", "", "resume the campaign from a checkpoint written by -checkpoint")
 
 		all      = flag.Bool("all", false, "produce every figure and table")
 		table1   = flag.Bool("table1", false, "Table 1: browser dataset")
@@ -120,21 +126,55 @@ func main() {
 		w.Proxy.Use(blk)
 	}
 
+	var inj *faultsim.Injector
+	if *faultRate > 0 {
+		inj = faultsim.New(faultsim.Plan{Seed: *faultSeed, Rates: faultsim.UniformRates(*faultRate)})
+		w.InstallFaults(inj)
+		fmt.Fprintf(os.Stderr, "panoptes: fault injection armed (rate=%.2g seed=%d)\n", *faultRate, *faultSeed)
+	}
+
 	if needCrawl {
 		workers := *parallel
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		ccfg := core.CampaignConfig{
+			Incognito:   *incognito,
+			Parallelism: *parallel,
+			Checkpoint:  *checkpoint != "",
+		}
+		if *resumeFrom != "" {
+			cp, err := core.ReadCheckpoint(*resumeFrom)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			ccfg.Resume = cp
+			ccfg.Incognito = cp.Incognito
+			fmt.Fprintf(os.Stderr, "panoptes: resuming campaign from %s (%d browsers checkpointed)\n",
+				*resumeFrom, len(cp.Browsers))
+		}
 		fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v, parallel=%d)...\n",
-			len(w.Sites), len(selected), *incognito, workers)
+			len(w.Sites), len(selected), ccfg.Incognito, workers)
 		start := time.Now()
-		res, err := w.RunCampaign(core.CampaignConfig{Incognito: *incognito, Parallelism: *parallel})
+		res, err := w.RunCampaign(ccfg)
 		if err != nil {
 			fatalf("campaign: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "panoptes: %d visits (%d errors, %d skipped) in %v wall / %v virtual\n",
 			len(res.Visits), res.Errors, len(res.Skipped), time.Since(start).Round(time.Millisecond),
 			w.Clock.Since(startVirtual()))
+		// Resilience exit report: what was injected, what the retry layer
+		// absorbed, and what degraded into error records.
+		if inj != nil || res.Retries > 0 || res.Degraded > 0 {
+			fmt.Fprintf(os.Stderr, "panoptes: resilience: %d faults injected (%s); %d attempts retried; %d visits degraded\n",
+				inj.Total(), inj.CountsString(), res.Retries, res.Degraded)
+		}
+		if *checkpoint != "" && res.Checkpoint != nil {
+			if err := res.Checkpoint.WriteFile(*checkpoint); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "panoptes: checkpoint written to %s\n", *checkpoint)
+		}
 	}
 
 	if *fig2 {

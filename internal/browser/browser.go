@@ -34,6 +34,7 @@ import (
 	"panoptes/internal/cdp"
 	"panoptes/internal/device"
 	"panoptes/internal/dnssim"
+	"panoptes/internal/faultsim"
 	"panoptes/internal/frida"
 	"panoptes/internal/netsim"
 	"panoptes/internal/profiles"
@@ -105,6 +106,7 @@ type Browser struct {
 	visitCount   int
 	noiseIdx     int
 	idleTicker   *vclock.Ticker
+	idleAlign    *vclock.Timer // re-alignment timer after a mid-session relaunch
 	idleStart    time.Time
 	idleIssued   float64
 	idleCredit   []float64
@@ -117,6 +119,97 @@ type Browser struct {
 	pausedSeq    int
 	nativeErrs   int
 	resolve      webengine.ResolveFunc
+	faults       *faultsim.Injector
+	navTimeout   time.Duration
+
+	// resolveMu guards the app-session OS-resolver cache. It lives on the
+	// Browser (not in a buildClients closure) so SessionState can snapshot
+	// and restore it across retries and relaunches.
+	resolveMu    sync.Mutex
+	resolveCache map[string]bool
+
+	// navMu/navInFlight/navIdle track Navigate calls still running after
+	// their CDP or Frida RPC gave up (a wall-clock timeout abandons the
+	// call, not the handler). Quiesce fences session rollback against
+	// these zombies.
+	navMu       sync.Mutex
+	navInFlight int
+	navIdle     chan struct{}
+}
+
+// navEnter/navExit bracket every Navigate call (including ones whose RPC
+// has already timed out).
+func (b *Browser) navEnter() {
+	b.navMu.Lock()
+	b.navInFlight++
+	b.navMu.Unlock()
+}
+
+func (b *Browser) navExit() {
+	b.navMu.Lock()
+	b.navInFlight--
+	if b.navInFlight == 0 && b.navIdle != nil {
+		close(b.navIdle)
+		b.navIdle = nil
+	}
+	b.navMu.Unlock()
+}
+
+// Quiesce blocks until no Navigate call is in flight, or until timeout.
+// The campaign runner calls it after a failed attempt, before rolling the
+// session back: a navigation that outlived its timed-out RPC must not
+// mutate state concurrently with RestoreSession. It returns false if a
+// navigation is still running (e.g. wedged on a hung origin) — such a
+// zombie only resumes after the campaign's own goroutines have joined, so
+// abandoning it is safe, just untidy.
+func (b *Browser) Quiesce(timeout time.Duration) bool {
+	b.navMu.Lock()
+	if b.navInFlight == 0 {
+		b.navMu.Unlock()
+		return true
+	}
+	if b.navIdle == nil {
+		b.navIdle = make(chan struct{})
+	}
+	idle := b.navIdle
+	b.navMu.Unlock()
+	select {
+	case <-idle:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// SetFaults installs (or clears, with nil) the fault injector consulted on
+// navigation (browser_crash) and by the CDP handler (cdp_stall).
+func (b *Browser) SetFaults(inj *faultsim.Injector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = inj
+}
+
+func (b *Browser) faultsInj() *faultsim.Injector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.faults
+}
+
+// SetNavigateTimeout bounds every engine request (document and
+// sub-resources) so a hung origin cannot stall a navigation beyond the
+// campaign's NavigateTimeout. It applies to the current engine and to
+// engines built by later relaunches. Non-positive values are ignored.
+func (b *Browser) SetNavigateTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.navTimeout = d
+	eng := b.engine
+	b.mu.Unlock()
+	if eng != nil {
+		eng.SetTimeout(d)
+	}
 }
 
 // New installs the app on the device and returns the (not yet launched)
@@ -291,20 +384,21 @@ func (b *Browser) buildClients() {
 			return err
 		}
 	}
-	cache := make(map[string]bool)
-	var cacheMu sync.Mutex
+	b.resolveMu.Lock()
+	b.resolveCache = make(map[string]bool)
+	b.resolveMu.Unlock()
 	b.resolve = func(host string) error {
-		cacheMu.Lock()
-		if cache[host] {
-			cacheMu.Unlock()
+		b.resolveMu.Lock()
+		if b.resolveCache[host] {
+			b.resolveMu.Unlock()
 			return nil
 		}
-		cacheMu.Unlock()
+		b.resolveMu.Unlock()
 		err := resolve(host)
 		if err == nil {
-			cacheMu.Lock()
-			cache[host] = true
-			cacheMu.Unlock()
+			b.resolveMu.Lock()
+			b.resolveCache[host] = true
+			b.resolveMu.Unlock()
 		}
 		return err
 	}
@@ -317,6 +411,12 @@ func (b *Browser) buildClients() {
 	})
 	b.engine.SetInterceptor(b.interceptEngineRequest)
 	b.engine.SetRequestObserver(b.observeEngineRequest)
+	b.mu.Lock()
+	navTimeout := b.navTimeout
+	b.mu.Unlock()
+	if navTimeout > 0 {
+		b.engine.SetTimeout(navTimeout)
+	}
 
 	if b.Profile.InjectsScript {
 		b.engine.AddInjection(webengine.Injection{
@@ -344,10 +444,15 @@ func (b *Browser) Stop() {
 	b.running = false
 	ticker := b.idleTicker
 	b.idleTicker = nil
+	align := b.idleAlign
+	b.idleAlign = nil
 	b.mu.Unlock()
 
 	if ticker != nil {
 		ticker.Stop()
+	}
+	if align != nil {
+		align.Stop()
 	}
 	b.stopCDP()
 	if b.opts.FridaDevice != nil {

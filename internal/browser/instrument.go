@@ -4,11 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"panoptes/internal/cdp"
 	"panoptes/internal/frida"
 	"panoptes/internal/hostlist"
 )
+
+// stallWedgeBound caps how long an injected cdp_stall wedges the
+// Page.navigate handler when the client's own call timeout is longer
+// (wall-clock; the DevTools protocol runs in real time).
+const stallWedgeBound = 5 * time.Second
 
 // engineBlocklist is the easylist stand-in CocCoc's engine enforces.
 var engineBlocklist = hostlist.Bundled()
@@ -62,6 +68,18 @@ func (b *Browser) startCDP() error {
 		var p cdp.NavigateParams
 		if err := json.Unmarshal(raw, &p); err != nil {
 			return nil, err
+		}
+		// Armed CDP-stall fault: the DevTools handler wedges until the
+		// client's CallTimeout fires (release closes at EndAttempt), or
+		// until the wedge bound — whichever comes first — so long
+		// navigate timeouts don't turn each stall into a minute of wall
+		// time. Either way the attempt fails with a cdp-classified error.
+		if release, ok := b.faultsInj().StallFault(b.Pkg.UID); ok {
+			select {
+			case <-release:
+			case <-time.After(stallWedgeBound):
+			}
+			return nil, fmt.Errorf("cdp: Page.navigate handler stalled (injected cdp_stall)")
 		}
 		res, err := b.Navigate(p.URL)
 		out := cdp.NavigateResult{FrameID: fmt.Sprintf("frame-%d", b.Pkg.UID)}

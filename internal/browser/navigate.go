@@ -18,6 +18,8 @@ const interceptTimeout = 15 * time.Second
 // services fire their per-visit traffic. It returns the engine's result,
 // whose LoadTimeMs the orchestrator feeds to the virtual clock.
 func (b *Browser) Navigate(url string) (*webengine.PageResult, error) {
+	b.navEnter()
+	defer b.navExit()
 	b.mu.Lock()
 	if !b.running {
 		b.mu.Unlock()
@@ -27,6 +29,17 @@ func (b *Browser) Navigate(url string) (*webengine.PageResult, error) {
 		b.mu.Unlock()
 		return nil, fmt.Errorf("browser: %s first-run wizard not completed", b.Profile.Name)
 	}
+	b.mu.Unlock()
+
+	// Armed crash fault: the app process dies before touching the network,
+	// leaving nothing to quarantine. The campaign runner relaunches and
+	// restores the session.
+	if b.faultsInj().CrashFault(b.Pkg.UID) {
+		b.Stop()
+		return nil, fmt.Errorf("browser: %s crashed (injected browser_crash)", b.Profile.Name)
+	}
+
+	b.mu.Lock()
 	b.visitCount++
 	incognito := b.incognito
 	b.mu.Unlock()
@@ -39,6 +52,12 @@ func (b *Browser) Navigate(url string) (*webengine.PageResult, error) {
 	res, err := b.engine.Navigate(url)
 	if err != nil {
 		return res, err
+	}
+	// A failing document status fails the visit: the page never rendered,
+	// so treating it as success would count an error page's traffic as the
+	// site's. (Injected http_5xx faults surface here.)
+	if res.Status >= 400 {
+		return res, fmt.Errorf("browser: document %s returned status %d", url, res.Status)
 	}
 
 	// Native per-visit traffic fires regardless of incognito mode — the

@@ -1,0 +1,151 @@
+package browser
+
+import (
+	"sort"
+	"time"
+
+	"panoptes/internal/vclock"
+)
+
+// SessionState is a restorable snapshot of a browser's mutable app-session
+// state: the persistent identifier, the per-visit counters that drive
+// native-traffic sequencing (noise round-robin, telemetry seq), the idle
+// scheduler position, and both resolver caches. The campaign runner
+// snapshots it before every navigation attempt (so a failed attempt can be
+// rolled back without perturbing later traffic), after every committed
+// visit (for checkpoints), and re-applies it after a crash relaunch or a
+// cross-process resume. Clock fields are stored as offsets from
+// vclock.Epoch so the snapshot serializes to JSON.
+type SessionState struct {
+	UUID            string        `json:"uuid,omitempty"`
+	VisitCount      int           `json:"visit_count"`
+	NoiseIdx        int           `json:"noise_idx"`
+	NativeErrs      int           `json:"native_errs"`
+	IdleIssued      float64       `json:"idle_issued"`
+	IdleStartOffset time.Duration `json:"idle_start_offset"`
+	ActivityOffset  time.Duration `json:"activity_offset"`
+	// ResolvedHosts is the app's OS-resolver (or DoH) session cache;
+	// EngineResolved is the web engine's per-session resolve log.
+	ResolvedHosts  []string `json:"resolved_hosts,omitempty"`
+	EngineResolved []string `json:"engine_resolved,omitempty"`
+}
+
+// SessionState captures the current session state.
+func (b *Browser) SessionState() *SessionState {
+	b.mu.Lock()
+	st := &SessionState{
+		UUID:            b.uuid,
+		VisitCount:      b.visitCount,
+		NoiseIdx:        b.noiseIdx,
+		NativeErrs:      b.nativeErrs,
+		IdleIssued:      b.idleIssued,
+		IdleStartOffset: b.idleStart.Sub(vclock.Epoch),
+		ActivityOffset:  b.activity.Now().Sub(vclock.Epoch),
+	}
+	b.mu.Unlock()
+
+	b.resolveMu.Lock()
+	hosts := make([]string, 0, len(b.resolveCache))
+	for h := range b.resolveCache {
+		hosts = append(hosts, h)
+	}
+	b.resolveMu.Unlock()
+	sort.Strings(hosts)
+	st.ResolvedHosts = hosts
+	if b.engine != nil {
+		st.EngineResolved = b.engine.ResolvedHosts()
+	}
+	return st
+}
+
+// RestoreSession re-applies a snapshot taken by SessionState. It restores
+// the identifier and counters, rebuilds the idle scheduler's weighted
+// round-robin credit (a pure function of how many idle requests have been
+// issued), re-arms the idle ticker on the original session's 5-second
+// grid, catches the activity clock up to the snapshot instant (no traffic
+// is issued during catch-up: the restored counters already cover it), and
+// restores both resolver caches. The browser must be running.
+func (b *Browser) RestoreSession(st *SessionState) {
+	if st == nil {
+		return
+	}
+	b.mu.Lock()
+	if st.UUID != "" {
+		b.uuid = st.UUID
+	}
+	b.visitCount = st.VisitCount
+	b.noiseIdx = st.NoiseIdx
+	b.nativeErrs = st.NativeErrs
+	b.idleStart = vclock.Epoch.Add(st.IdleStartOffset)
+	// Replay the smooth-WRR selector to rebuild its credit vector, then
+	// pin the issued count to the snapshot.
+	b.idleIssued = 0
+	b.idleCredit = nil
+	for i := 0; i < int(st.IdleIssued); i++ {
+		b.pickIdleDest()
+	}
+	b.idleIssued = st.IdleIssued
+	running := b.running
+	ticker := b.idleTicker
+	b.idleTicker = nil
+	align := b.idleAlign
+	b.idleAlign = nil
+	b.mu.Unlock()
+
+	if ticker != nil {
+		ticker.Stop()
+	}
+	if align != nil {
+		align.Stop()
+	}
+
+	b.resolveMu.Lock()
+	b.resolveCache = make(map[string]bool, len(st.ResolvedHosts))
+	for _, h := range st.ResolvedHosts {
+		b.resolveCache[h] = true
+	}
+	b.resolveMu.Unlock()
+	if b.engine != nil {
+		b.engine.SetResolvedHosts(st.EngineResolved)
+	}
+
+	if running {
+		b.armIdleTickerAligned()
+		// After a relaunch or resume the activity clock may trail the
+		// snapshot; catch it up so later advances measure from the right
+		// instant. Ticks firing on the way issue nothing — the restored
+		// idleIssued already covers the curve up to this point.
+		target := vclock.Epoch.Add(st.ActivityOffset)
+		if target.After(b.activity.Now()) {
+			b.activity.AdvanceTo(target)
+		}
+	}
+}
+
+// armIdleTickerAligned arms the idle scheduler so ticks stay on the
+// 5-second grid anchored at the session's launch instant (idleStart). A
+// plain Tick after a mid-campaign relaunch would first fire a full period
+// after the relaunch instant, shifting every later tick off the grid and
+// silently changing the idle phone-home curve.
+func (b *Browser) armIdleTickerAligned() {
+	const period = 5 * time.Second
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running {
+		return
+	}
+	elapsed := b.activity.Now().Sub(b.idleStart)
+	delay := period - (elapsed % period)
+	b.idleAlign = b.activity.AfterFunc(delay, func() {
+		b.idleTick()
+		tk := b.activity.Tick(period, b.idleTick)
+		b.mu.Lock()
+		if b.running && b.idleTicker == nil {
+			b.idleTicker = tk
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		tk.Stop()
+	})
+}

@@ -362,9 +362,27 @@ func (c *Client) CallTimeout(method string, params, result any, timeout time.Dur
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("cdp: %s timed out after %v", method, timeout)
+		return &TimeoutError{Method: method, After: timeout}
 	}
 }
+
+// TimeoutError reports a CDP call that received no response in time — the
+// signature of an unresponsive DevTools socket. It satisfies the net.Error
+// timeout contract so callers can branch on it.
+type TimeoutError struct {
+	Method string
+	After  time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("cdp: %s timed out after %v", e.Method, e.After)
+}
+
+// Timeout reports this as a timeout condition.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Temporary reports the failure as retryable (a fresh connection may work).
+func (e *TimeoutError) Temporary() bool { return true }
 
 // Close tears the connection down.
 func (c *Client) Close() error {

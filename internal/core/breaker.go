@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"panoptes/internal/obs"
+)
+
+// breaker is a consecutive-failure circuit breaker on the virtual clock.
+// After threshold consecutive failures it opens for cooldown; while open,
+// callers skip the protected operation (the visit is recorded as degraded
+// with class "breaker_open" instead of burning retries against a target
+// that is clearly down). Breakers observe committed visit outcomes, not
+// individual attempts: a visit that fails once and then commits keeps the
+// breaker closed, so converging fault plans never trip it and the
+// determinism contract holds.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether the protected operation may run at now.
+func (br *breaker) allow(now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return !now.Before(br.openUntil)
+}
+
+// record feeds one outcome in; it returns true when this failure opened
+// the breaker (the caller bumps breaker_open_total).
+func (br *breaker) record(ok bool, now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if ok {
+		br.fails = 0
+		return false
+	}
+	br.fails++
+	if br.fails < br.threshold {
+		return false
+	}
+	br.fails = 0
+	br.openUntil = now.Add(br.cooldown)
+	return true
+}
+
+// breakerSet is a lazily-populated keyed breaker map (per-host breakers
+// are shared by every worker; per-browser breakers live in the worker).
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*breaker)}
+}
+
+func (s *breakerSet) get(key string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.m[key]
+	if br == nil {
+		br = newBreaker(s.threshold, s.cooldown)
+		s.m[key] = br
+	}
+	return br
+}
+
+// breakerOpened records a breaker transition to open.
+func breakerOpened(scope string) {
+	obs.Default.Counter("breaker_open_total", "scope", scope).Inc()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 
 	"panoptes/internal/browser"
 	"panoptes/internal/cdp"
+	"panoptes/internal/faultsim"
 	"panoptes/internal/frida"
 	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
@@ -31,6 +33,7 @@ var (
 	mCampaignProg = obs.Default.Gauge("core_campaign_progress_visits")
 	mBrowsersDone = obs.Default.Counter("core_browsers_crawled_total")
 	mParallelism  = obs.Default.Gauge("core_campaign_parallelism")
+	mVisitRetries = obs.Default.Counter("core_visit_retries")
 )
 
 func init() {
@@ -41,7 +44,17 @@ func init() {
 	obs.Default.Help("core_browsers_crawled_total", "Per-browser crawls completed.")
 	obs.Default.Help("core_campaign_parallelism", "Worker count of the currently running campaign.")
 	obs.Default.Help("core_worker_visits_total", "Visits completed by each campaign scheduler worker.")
+	obs.Default.Help("core_visit_retries", "Navigation attempts retried after a failure.")
+	obs.Default.Help("breaker_open_total", "Circuit-breaker open transitions, by scope (host or browser).")
+	obs.Default.Help("core_teardown_errors_total", "Session/instrumentation teardown errors, by operation.")
 }
+
+// attemptIDs issues process-unique navigation-attempt tags. Flows captured
+// during an attempt carry its tag, so a failed attempt's partial traffic
+// can be quarantined (capture.DB.RemoveAttempt) without touching any other
+// attempt — including flows preloaded from a checkpoint, whose tags are
+// cleared on resume.
+var attemptIDs atomic.Int64
 
 // CampaignConfig selects what a crawl visits and how.
 type CampaignConfig struct {
@@ -58,13 +71,42 @@ type CampaignConfig struct {
 	// Settle is the post-DOMContentLoaded wait (paper: 5 s).
 	Settle time.Duration
 	// NavigateTimeout is the page-load ceiling (paper: 60 s, wall clock
-	// on the CDP channel).
+	// on the CDP channel), enforced end to end: it also caps the engine's
+	// per-request wall time, so a wedged origin cannot outlive it.
 	NavigateTimeout time.Duration
 	// Parallelism is how many browsers are crawled concurrently. Each
 	// browser has its own UID, Appium session and iptables diversion, so
 	// the crawl is embarrassingly parallel per browser; 1 preserves the
 	// sequential behaviour and 0 (the default) means GOMAXPROCS.
 	Parallelism int
+
+	// MaxAttempts bounds navigations per site, first try included
+	// (default 3). Failed attempts roll the session back, quarantine
+	// their partial flows and retry with exponential backoff on the
+	// virtual clock.
+	MaxAttempts int
+	// RetryBackoff is the base backoff between attempts, doubled per
+	// retry plus deterministic jitter, advanced on the virtual clock
+	// (default 500ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a circuit breaker after that many
+	// consecutive failed visits against one host or one browser
+	// (default 5); BreakerCooldown is how long it stays open on the
+	// virtual clock (default 2 minutes). While open, visits are skipped
+	// and recorded with class "breaker_open".
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// StopAfterVisits pauses the campaign after that many recorded
+	// visits across all browsers (0 = run to completion); combine with
+	// Checkpoint to split a crawl across processes.
+	StopAfterVisits int
+	// Checkpoint attaches a resumable snapshot to the result.
+	Checkpoint bool
+	// Resume continues a checkpointed campaign: completed (browser,
+	// site) pairs are skipped, their visit records and captured flows
+	// re-adopted, and each browser's session state restored.
+	Resume *Checkpoint
 }
 
 func (c *CampaignConfig) defaults(w *World) {
@@ -87,6 +129,18 @@ func (c *CampaignConfig) defaults(w *World) {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Minute
+	}
 }
 
 // VisitRecord is one page visit's outcome.
@@ -95,6 +149,13 @@ type VisitRecord struct {
 	URL        string
 	LoadTimeMs int64
 	Err        string
+	// ErrClass is the stable classification of Err (faultsim.Classify):
+	// dns, connect_refused, tls, timeout, cdp, crash, reset, http_error,
+	// breaker_open, setup, ... Empty on success.
+	ErrClass string
+	// Attempts is how many navigation attempts the visit took (0 when it
+	// never ran, e.g. skipped by an open breaker or a dead browser).
+	Attempts int
 }
 
 // CampaignResult summarises a crawl.
@@ -102,14 +163,35 @@ type CampaignResult struct {
 	Visits  []VisitRecord
 	Skipped []string // browsers skipped (e.g. no incognito mode)
 	Errors  int
+	// Retries counts navigation attempts that were retried; Degraded
+	// counts visits that ended with an error record instead of a page.
+	Retries  int
+	Degraded int
+	// Stopped reports the campaign paused on StopAfterVisits rather than
+	// finishing; Checkpoint carries the resumable snapshot when
+	// CampaignConfig.Checkpoint was set.
+	Stopped    bool
+	Checkpoint *Checkpoint
 }
 
 // crawlOutcome is one browser's crawl as a worker produced it, merged
 // into the CampaignResult in profile order after the pool drains.
 type crawlOutcome struct {
-	visits []VisitRecord
-	errors int
-	err    error
+	name      string
+	visits    []VisitRecord
+	completed []string
+	errors    int
+	retries   int
+	degraded  int
+	state     *browser.SessionState
+}
+
+// sharedCrawl is the cross-worker campaign state: per-host breakers and
+// the recorded-visit budget.
+type sharedCrawl struct {
+	hosts     *breakerSet
+	committed atomic.Int64
+	stopped   atomic.Bool
 }
 
 // RunCampaign reproduces §2.1's crawl procedure per browser: reset to
@@ -127,6 +209,13 @@ type crawlOutcome struct {
 // privately and merged in cfg.Browsers order, making the result — and
 // everything the analysis package derives from the capture databases —
 // independent of the parallelism level.
+//
+// The crawl degrades rather than aborts: a failed visit becomes a
+// VisitRecord with a classified error (its partial flows quarantined), a
+// crashed or unresponsive browser is relaunched with its session
+// restored, and a browser that cannot be recovered yields error records
+// for its remaining sites while the other browsers finish. The only
+// upfront failure is an unknown browser name.
 func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	cfg.defaults(w)
 	result := &CampaignResult{}
@@ -154,6 +243,22 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		jobs = append(jobs, job{idx: len(jobs), name: name, b: b})
 	}
 
+	// Re-adopt a checkpoint's committed flows before any crawl starts.
+	// Their attempt tags are cleared: they are committed history, not
+	// candidates for this run's quarantine.
+	if cfg.Resume != nil {
+		for _, f := range cfg.Resume.Engine {
+			f.Attempt = 0
+			w.DB.Engine.Add(f)
+		}
+		for _, f := range cfg.Resume.Native {
+			f.Attempt = 0
+			w.DB.Native.Add(f)
+		}
+		result.Retries += cfg.Resume.Retries
+		result.Degraded += cfg.Resume.Degraded
+	}
+
 	workers := cfg.Parallelism
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -162,29 +267,18 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		workers = 1
 	}
 
+	shared := &sharedCrawl{hosts: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)}
 	outcomes := make([]crawlOutcome, len(jobs))
 	jobCh := make(chan job)
 	var wg sync.WaitGroup
-	var failed atomic.Bool
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(workerID int) {
 			defer wg.Done()
 			visits := obs.Default.Counter("core_worker_visits_total", "worker", strconv.Itoa(workerID))
 			for j := range jobCh {
-				if failed.Load() {
-					// A browser already failed: stop starting new crawls,
-					// mirroring the sequential early return. In-flight
-					// browsers on other workers run to completion.
-					continue
-				}
-				out := w.crawlBrowser(j.b, cfg, visits)
-				outcomes[j.idx] = out
-				if out.err != nil {
-					failed.Store(true)
-				} else {
-					mBrowsersDone.Inc()
-				}
+				outcomes[j.idx] = w.crawlBrowser(j.b, cfg, visits, shared)
+				mBrowsersDone.Inc()
 			}
 		}(i)
 	}
@@ -195,112 +289,347 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	wg.Wait()
 
 	// Deterministic merge: visit records in profile order, each
-	// browser's sites in visit order; the error reported is the first in
-	// profile order, matching what the sequential loop would have hit.
-	var firstErr error
-	for i, out := range outcomes {
+	// browser's sites in visit order, whatever the workers' interleaving.
+	for _, out := range outcomes {
 		result.Visits = append(result.Visits, out.visits...)
 		result.Errors += out.errors
-		if out.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("core: campaign on %s: %w", jobs[i].name, out.err)
-		}
+		result.Retries += out.retries
+		result.Degraded += out.degraded
 	}
-	if firstErr != nil {
-		return result, firstErr
+	result.Stopped = shared.stopped.Load()
+	if cfg.Checkpoint {
+		cp := &Checkpoint{
+			Incognito: cfg.Incognito,
+			Browsers:  make(map[string]*BrowserCheckpoint, len(outcomes)),
+			Skipped:   result.Skipped,
+			Retries:   result.Retries,
+			Degraded:  result.Degraded,
+		}
+		for _, out := range outcomes {
+			cp.Browsers[out.name] = &BrowserCheckpoint{
+				Completed: out.completed,
+				State:     out.state,
+				Visits:    out.visits,
+			}
+		}
+		cp.Engine = w.DB.Engine.All()
+		cp.Native = w.DB.Native.All()
+		result.Checkpoint = cp
 	}
 	return result, nil
 }
 
-// crawlBrowser runs one browser's full crawl.
-func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisits *obs.Counter) (out crawlOutcome) {
+// retryDelay is the exponential backoff with deterministic jitter: base
+// doubled per retry plus a hash fraction of it, so concurrent workers
+// de-synchronize without sacrificing reproducibility.
+func retryDelay(base time.Duration, attempt int, browserName, url string) time.Duration {
+	d := base << uint(attempt-1)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d", browserName, url, attempt)
+	return d + time.Duration(h.Sum64()%uint64(d/2+1))
+}
+
+// crawlBrowser runs one browser's full crawl, absorbing faults: failed
+// visits degrade to classified error records, crashed browsers are
+// relaunched mid-crawl, and setup failures degrade every remaining site
+// instead of discarding the visits already completed.
+func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisits *obs.Counter, shared *sharedCrawl) (out crawlOutcome) {
+	name := b.Profile.Name
+	out.name = name
+
+	var bc *BrowserCheckpoint
+	if cfg.Resume != nil {
+		bc = cfg.Resume.Browsers[name]
+	}
+	completedSet := make(map[string]bool)
+	if bc != nil {
+		out.completed = append(out.completed, bc.Completed...)
+		out.visits = append(out.visits, bc.Visits...)
+		for _, url := range bc.Completed {
+			completedSet[url] = true
+		}
+		for _, v := range bc.Visits {
+			if v.Err != "" {
+				out.errors++
+			}
+		}
+	}
+	resuming := bc != nil && bc.State != nil
+
+	// degradeFrom records a classified error for every not-yet-visited
+	// site from idx on — the graceful-degradation contract: a setup
+	// failure or dead browser yields a partial campaign, never a lost one.
+	degradeFrom := func(idx int, err error, class string) {
+		msg := err.Error()
+		for _, site := range cfg.Sites[idx:] {
+			url := site.URL()
+			if completedSet[url] {
+				continue
+			}
+			out.visits = append(out.visits, VisitRecord{
+				Browser: name, URL: url, Err: msg, ErrClass: class,
+			})
+			out.errors++
+			out.degraded++
+			out.completed = append(out.completed, url)
+			mVisitErr.Inc()
+		}
+	}
+
 	sess, err := w.AppiumClient.NewSession(b.Pkg.Name)
 	if err != nil {
-		out.err = err
+		degradeFrom(0, fmt.Errorf("appium session: %w", err), "setup")
 		return out
 	}
-	defer sess.Close()
+	launched := false
+	defer func() {
+		if launched {
+			if err := sess.Terminate(); err != nil {
+				obs.Default.Counter("core_teardown_errors_total", "op", "appium_terminate").Inc()
+			}
+		}
+		if err := sess.Close(); err != nil {
+			obs.Default.Counter("core_teardown_errors_total", "op", "appium_close").Inc()
+		}
+	}()
 
-	if !cfg.SkipReset {
+	if resuming {
+		// Restore the persistent identifier before launch so the
+		// relaunched app reads the original install UUID from storage
+		// (Launch would otherwise mint a fresh one).
+		if bc.State.UUID != "" {
+			if err := w.Device.StoragePut(b.Pkg.Name, "install_uuid", bc.State.UUID); err != nil {
+				degradeFrom(0, fmt.Errorf("resume uuid: %w", err), "setup")
+				return out
+			}
+		}
+	} else if !cfg.SkipReset {
 		if err := sess.Reset(); err != nil {
-			out.err = fmt.Errorf("appium reset: %w", err)
+			degradeFrom(0, fmt.Errorf("appium reset: %w", err), "setup")
 			return out
 		}
 	} else if b.Running() {
 		b.Stop()
 	}
 	if err := sess.Launch(); err != nil {
-		out.err = fmt.Errorf("appium launch: %w", err)
+		degradeFrom(0, fmt.Errorf("appium launch: %w", err), "setup")
 		return out
 	}
-	defer sess.Terminate()
+	launched = true
 	if err := sess.CompleteWizard(); err != nil {
-		out.err = fmt.Errorf("setup wizard: %w", err)
+		degradeFrom(0, fmt.Errorf("setup wizard: %w", err), "setup")
 		return out
 	}
 
 	// Divert the browser's kernel UID into the transparent proxy.
 	if !w.Device.DiversionActive(b.UID()) {
 		if err := w.Device.DivertBrowser(b.UID(), ProxyAddr); err != nil {
-			out.err = fmt.Errorf("iptables diversion: %w", err)
+			degradeFrom(0, fmt.Errorf("iptables diversion: %w", err), "setup")
 			return out
 		}
 	}
 
 	if cfg.Incognito {
 		if err := b.SetIncognito(true); err != nil {
-			out.err = err
+			degradeFrom(0, err, "setup")
 			return out
 		}
 		defer b.SetIncognito(false)
 	}
 
+	// NavigateTimeout end to end: the engine's per-request wall ceiling
+	// matches the CDP channel's, so a wedged origin cannot hold a visit
+	// past it.
+	b.SetNavigateTimeout(cfg.NavigateTimeout)
+	if resuming {
+		b.RestoreSession(bc.State)
+	}
+
 	navigate, teardown, err := w.instrument(b)
 	if err != nil {
-		out.err = fmt.Errorf("instrumentation: %w", err)
+		degradeFrom(0, fmt.Errorf("instrumentation: %w", err), "setup")
 		return out
 	}
-	defer teardown()
+	defer func() {
+		if err := teardown(); err != nil {
+			obs.Default.Counter("core_teardown_errors_total", "op", "instrument").Inc()
+		}
+	}()
 
-	for _, site := range cfg.Sites {
+	// recoverBrowser brings a crashed (or CDP-wedged) browser back:
+	// surface the dead instrumentation's teardown error, relaunch the
+	// app (the persistent UUID survives in storage), restore the session
+	// snapshot taken before the failed attempt, and re-instrument.
+	recoverBrowser := func(snap *browser.SessionState) error {
+		if err := teardown(); err != nil {
+			obs.Default.Counter("core_teardown_errors_total", "op", "instrument").Inc()
+		}
+		teardown = func() error { return nil }
+		if b.Running() {
+			b.Stop()
+		}
+		if err := sess.Launch(); err != nil {
+			return fmt.Errorf("relaunch: %w", err)
+		}
+		b.SetNavigateTimeout(cfg.NavigateTimeout)
+		b.RestoreSession(snap)
+		nav2, td2, err := w.instrument(b)
+		if err != nil {
+			return fmt.Errorf("re-instrument: %w", err)
+		}
+		navigate, teardown = nav2, td2
+		return nil
+	}
+
+	bb := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	for siteIdx, site := range cfg.Sites {
 		url := site.URL()
+		if completedSet[url] {
+			continue
+		}
+		if shared.stopped.Load() {
+			// Visit budget exhausted: leave the rest for a resume.
+			break
+		}
+
+		host := faultsim.HostOf(url)
+		hb := shared.hosts.get(host)
+		now := w.Clock.Now()
+		if !bb.allow(now) || !hb.allow(now) {
+			rec := VisitRecord{
+				Browser: name, URL: url,
+				Err:      fmt.Sprintf("core: circuit breaker open for %s", host),
+				ErrClass: "breaker_open",
+			}
+			out.visits = append(out.visits, rec)
+			out.completed = append(out.completed, url)
+			out.errors++
+			out.degraded++
+			mVisitErr.Inc()
+			mCampaignProg.Inc()
+			continue
+		}
+
 		visitSpan := w.Trace.Start("visit")
-		visitSpan.SetAttr("browser", b.Profile.Name)
+		visitSpan.SetAttr("browser", name)
 		visitSpan.SetAttr("url", url)
 		w.Trace.SetActive(b.UID(), visitSpan)
-		w.Visits.BeginVisit(b.UID(), url, cfg.Incognito)
 
-		navSpan := visitSpan.Child("navigate")
-		loadMs, navErr := navigate(url, cfg.NavigateTimeout)
-		rec := VisitRecord{Browser: b.Profile.Name, URL: url, LoadTimeMs: loadMs}
-		if navErr != nil {
-			rec.Err = navErr.Error()
-			out.errors++
+		rec := VisitRecord{Browser: name, URL: url}
+		var lastErr, unrecoverable error
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			rec.Attempts = attempt
+			snap := b.SessionState()
+			aid := attemptIDs.Add(1)
+			w.Faults.BeginAttempt(b.UID(), name, url, attempt)
+			w.Visits.BeginVisitAttempt(b.UID(), url, cfg.Incognito, aid)
+
+			navSpan := visitSpan.Child("navigate")
+			navSpan.SetAttr("attempt", strconv.Itoa(attempt))
+			loadMs, navErr := navigate(url, cfg.NavigateTimeout)
+			if navErr != nil {
+				// A wall-clock timeout abandons the CDP/Frida call while
+				// its handler may still be mid-navigation. Fence before
+				// rolling anything back so the zombie's state mutations
+				// and captured flows land inside this attempt's window
+				// (and its quarantine). A navigation wedged past the
+				// bound (hung origin) only resumes after the campaign's
+				// goroutines join, so skipping it is race-free.
+				b.Quiesce(cfg.NavigateTimeout)
+			}
+			w.Visits.EndVisit(b.UID())
+			w.Faults.EndAttempt(b.UID())
+
+			if navErr == nil {
+				// Commit: DOMContentLoaded (modelled load time) plus the
+				// settle window, on the virtual clock — §2.1's wait
+				// discipline. The advance is split so the navigate and
+				// settle spans carry their real virtual durations.
+				// Concurrent workers serialize on the world clock (flow
+				// timestamps, TLS validation time) but each drives only
+				// its own browser's activity clock, so a browser's idle
+				// phone-home curve sees the same timeline at any
+				// parallelism level.
+				rec.LoadTimeMs = loadMs
+				w.Clock.Advance(time.Duration(loadMs) * time.Millisecond)
+				navSpan.End()
+				settleSpan := visitSpan.Child("settle")
+				w.Clock.Advance(cfg.Settle)
+				settleSpan.End()
+				b.AdvanceActivity(time.Duration(loadMs)*time.Millisecond + cfg.Settle)
+				mVisitLatency.Observe((time.Duration(loadMs)*time.Millisecond + cfg.Settle).Seconds())
+				lastErr = nil
+				break
+			}
+
+			lastErr = navErr
 			navSpan.SetAttr("error", navErr.Error())
-			mVisitErr.Inc()
-		} else {
-			mVisitOK.Inc()
-		}
-		// DOMContentLoaded (modelled load time) plus the settle window,
-		// on the virtual clock — §2.1's wait discipline. The advance is
-		// split so the navigate and settle spans carry their real virtual
-		// durations. Concurrent workers serialize on the world clock
-		// (flow timestamps, TLS validation time) but each drives only its
-		// own browser's activity clock, so a browser's idle phone-home
-		// curve sees the same timeline at any parallelism level.
-		w.Clock.Advance(time.Duration(loadMs) * time.Millisecond)
-		navSpan.End()
-		settleSpan := visitSpan.Child("settle")
-		w.Clock.Advance(cfg.Settle)
-		settleSpan.End()
-		b.AdvanceActivity(time.Duration(loadMs)*time.Millisecond + cfg.Settle)
+			navSpan.End()
+			// Quarantine the failed attempt's partial flows: they belong
+			// to no committed visit and would otherwise pollute the
+			// analyses.
+			w.DB.RemoveAttempt(aid)
 
-		w.Visits.EndVisit(b.UID())
+			switch faultsim.Classify(navErr) {
+			case "crash", "cdp":
+				// The app died or its DevTools socket wedged; nothing
+				// short of a relaunch will answer again. Session state
+				// rolls back to the pre-attempt snapshot either way.
+				if rerr := recoverBrowser(snap); rerr != nil {
+					unrecoverable = rerr
+				}
+			default:
+				b.RestoreSession(snap)
+			}
+			if unrecoverable != nil || attempt == cfg.MaxAttempts {
+				break
+			}
+
+			out.retries++
+			mVisitRetries.Inc()
+			delay := retryDelay(cfg.RetryBackoff, attempt, name, url)
+			backoffSpan := visitSpan.Child("backoff")
+			backoffSpan.SetAttr("attempt", strconv.Itoa(attempt))
+			backoffSpan.SetAttr("delay", delay.String())
+			w.Clock.Advance(delay)
+			backoffSpan.End()
+		}
 		w.Trace.SetActive(b.UID(), nil)
 		visitSpan.End()
-		mVisitLatency.Observe((time.Duration(loadMs)*time.Millisecond + cfg.Settle).Seconds())
+
+		ok := lastErr == nil
+		if ok {
+			mVisitOK.Inc()
+		} else {
+			rec.Err = lastErr.Error()
+			rec.ErrClass = faultsim.Classify(lastErr)
+			out.errors++
+			out.degraded++
+			mVisitErr.Inc()
+		}
+		if bb.record(ok, w.Clock.Now()) {
+			breakerOpened("browser")
+		}
+		if hb.record(ok, w.Clock.Now()) {
+			breakerOpened("host")
+		}
+		out.visits = append(out.visits, rec)
+		out.completed = append(out.completed, url)
 		mCampaignProg.Inc()
 		workerVisits.Inc()
-		out.visits = append(out.visits, rec)
+
+		if unrecoverable != nil {
+			degradeFrom(siteIdx+1, fmt.Errorf("browser unrecoverable: %w", unrecoverable), faultsim.Classify(unrecoverable))
+			break
+		}
+		if cfg.StopAfterVisits > 0 && shared.committed.Add(1) >= int64(cfg.StopAfterVisits) {
+			shared.stopped.Store(true)
+			break
+		}
+	}
+
+	if b.Running() {
+		out.state = b.SessionState()
 	}
 	return out
 }
@@ -310,8 +639,9 @@ type navigateFunc func(url string, timeout time.Duration) (int64, error)
 
 // instrument attaches the taint-injection instrumentation: CDP Fetch
 // interception for CDP browsers, a Frida request hook for the rest.
-// It returns the navigation driver and a teardown.
-func (w *World) instrument(b *browser.Browser) (navigateFunc, func(), error) {
+// It returns the navigation driver and a teardown whose error the
+// campaign surfaces into core_teardown_errors_total.
+func (w *World) instrument(b *browser.Browser) (navigateFunc, func() error, error) {
 	switch b.Profile.Instrumentation {
 	case profiles.InstrumentCDP:
 		return w.instrumentCDP(b)
@@ -321,7 +651,7 @@ func (w *World) instrument(b *browser.Browser) (navigateFunc, func(), error) {
 	return nil, nil, fmt.Errorf("unknown instrumentation %q", b.Profile.Instrumentation)
 }
 
-func (w *World) instrumentCDP(b *browser.Browser) (navigateFunc, func(), error) {
+func (w *World) instrumentCDP(b *browser.Browser) (navigateFunc, func() error, error) {
 	wsURL := b.DevToolsURL()
 	client, err := cdp.Dial(wsURL, func(addr string) (net.Conn, error) {
 		return w.Inet.Dial(context.Background(), addr)
@@ -362,14 +692,18 @@ func (w *World) instrumentCDP(b *browser.Browser) (navigateFunc, func(), error) 
 		}
 		return res.LoadTimeMs, nil
 	}
-	teardown := func() {
-		client.Call(cdp.MethodFetchDisable, nil, nil)
-		client.Close()
+	teardown := func() error {
+		callErr := client.Call(cdp.MethodFetchDisable, nil, nil)
+		closeErr := client.Close()
+		if callErr != nil {
+			return callErr
+		}
+		return closeErr
 	}
 	return nav, teardown, nil
 }
 
-func (w *World) instrumentFrida(b *browser.Browser) (navigateFunc, func(), error) {
+func (w *World) instrumentFrida(b *browser.Browser) (navigateFunc, func() error, error) {
 	sess, err := frida.Attach(w.FridaDev, b.Pkg.Name)
 	if err != nil {
 		return nil, nil, err
@@ -385,7 +719,27 @@ func (w *World) instrumentFrida(b *browser.Browser) (navigateFunc, func(), error
 		return nil, nil, err
 	}
 	nav := func(url string, timeout time.Duration) (int64, error) {
-		return sess.CallLoadURL(url)
+		// Frida's RPC has no deadline of its own; bound it here so
+		// NavigateTimeout holds for Frida browsers too.
+		type loadResult struct {
+			ms  int64
+			err error
+		}
+		ch := make(chan loadResult, 1)
+		go func() {
+			ms, err := sess.CallLoadURL(url)
+			ch <- loadResult{ms, err}
+		}()
+		select {
+		case r := <-ch:
+			return r.ms, r.err
+		case <-time.After(timeout):
+			return 0, fmt.Errorf("frida: LoadURL %s timed out after %v", url, timeout)
+		}
 	}
-	return nav, sess.Detach, nil
+	teardown := func() error {
+		sess.Detach()
+		return nil
+	}
+	return nav, teardown, nil
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"panoptes/internal/browser"
+	"panoptes/internal/capture"
+)
+
+// BrowserCheckpoint is one browser's crawl position: which sites have a
+// committed (or degraded) record, the restorable session state at the
+// moment the crawl paused, and the visit records produced so far.
+type BrowserCheckpoint struct {
+	Completed []string              `json:"completed,omitempty"`
+	State     *browser.SessionState `json:"state,omitempty"`
+	Visits    []VisitRecord         `json:"visits,omitempty"`
+}
+
+// Checkpoint is a resumable snapshot of a campaign: per-browser crawl
+// positions plus the capture databases' committed flows. RunCampaign
+// builds one when CampaignConfig.Checkpoint is set; feeding it back via
+// CampaignConfig.Resume (typically in a fresh process against a fresh
+// world) continues from the last completed (browser, site) pair and
+// yields the same merged result as an uninterrupted run.
+type Checkpoint struct {
+	Incognito bool                          `json:"incognito"`
+	Browsers  map[string]*BrowserCheckpoint `json:"browsers"`
+	Skipped   []string                      `json:"skipped,omitempty"`
+	Engine    []*capture.Flow               `json:"engine,omitempty"`
+	Native    []*capture.Flow               `json:"native,omitempty"`
+	Retries   int                           `json:"retries"`
+	Degraded  int                           `json:"degraded"`
+}
+
+// WriteFile serializes the checkpoint as JSON.
+func (c *Checkpoint) WriteFile(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteFile.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	c := &Checkpoint{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -17,6 +17,7 @@ import (
 	"panoptes/internal/browser"
 	"panoptes/internal/capture"
 	"panoptes/internal/device"
+	"panoptes/internal/faultsim"
 	"panoptes/internal/frida"
 	"panoptes/internal/geoip"
 	"panoptes/internal/hostlist"
@@ -74,6 +75,10 @@ type World struct {
 
 	Hostlist *hostlist.List
 	FridaDev *frida.Device
+
+	// Faults is the installed fault injector (nil = fault-free). Install
+	// with InstallFaults so every substrate layer sees the same plan.
+	Faults *faultsim.Injector
 
 	Browsers map[string]*browser.Browser // by profile name
 
@@ -212,6 +217,29 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		appiumSrv.RegisterApp(p.Package, appAdapter{b})
 	}
 	return w, nil
+}
+
+// InstallFaults wires a fault injector through every substrate layer:
+// app-layer dials (device), raw lookups/dials (netsim chaos hook), the
+// MITM proxy's handshake and exchange paths, the vendor DoH resolvers'
+// SERVFAIL hook, and each browser's navigate/CDP entry points.
+// RunCampaign arms the injector per navigation attempt. Passing nil
+// uninstalls everything.
+func (w *World) InstallFaults(inj *faultsim.Injector) {
+	w.Faults = inj
+	if inj == nil {
+		w.Device.SetDialFault(nil)
+		w.Inet.SetFaultHook(nil)
+	} else {
+		w.Device.SetDialFault(inj.DialFault)
+		w.Inet.SetFaultHook(inj.NetHook())
+	}
+	w.Proxy.SetFaults(inj)
+	w.Vendors.DoHCloudflare.SetServFailFunc(inj.DNSServFail)
+	w.Vendors.DoHGoogle.SetServFailFunc(inj.DNSServFail)
+	for _, b := range w.Browsers {
+		b.SetFaults(inj)
+	}
 }
 
 // GeoDB builds the IP-to-country database from the virtual internet's

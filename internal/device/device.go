@@ -66,6 +66,23 @@ type Device struct {
 	tap      Tap
 	stub     *StubResolver
 	rooted   bool
+	// dialFault, when set, is consulted at the top of DialContext with the
+	// dialing UID, bare host and full addr; a non-nil return aborts the dial
+	// with that error (internal/faultsim's armed DNS/connect faults).
+	dialFault func(uid int, host, addr string) error
+}
+
+// SetDialFault installs (or clears, with nil) the dial fault-injection hook.
+func (d *Device) SetDialFault(fn func(uid int, host, addr string) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dialFault = fn
+}
+
+func (d *Device) dialFaultFn() func(uid int, host, addr string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dialFault
 }
 
 // Tap receives synthesised packets from the network stack. Implementations
@@ -239,6 +256,12 @@ func (d *Device) DialContext(ctx context.Context, uid int, addr string) (net.Con
 	}
 	var port int
 	fmt.Sscanf(portStr, "%d", &port)
+
+	if fn := d.dialFaultFn(); fn != nil {
+		if ferr := fn(uid, host, addr); ferr != nil {
+			return nil, ferr
+		}
+	}
 
 	dstIP, err := d.Net.LookupHost(host)
 	if err != nil {

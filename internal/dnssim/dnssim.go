@@ -40,8 +40,24 @@ type Resolver interface {
 type Handler struct {
 	resolver Resolver
 
-	mu      sync.Mutex
-	queried []string
+	mu       sync.Mutex
+	queried  []string
+	servFail func(name string) bool
+}
+
+// SetServFailFunc installs a fault-injection predicate: when it returns true
+// for a queried name, the handler answers SERVFAIL for that question instead
+// of resolving it. nil clears the hook.
+func (h *Handler) SetServFailFunc(fn func(name string) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.servFail = fn
+}
+
+func (h *Handler) servFailFn() func(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.servFail
 }
 
 // NewHandler creates a DoH handler.
@@ -102,6 +118,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.mu.Unlock()
 		obs.Default.Counter("dns_queries_total", "transport", "doh", "type", question.Type.String()).Inc()
 		if question.Type != dnsmsg.TypeA {
+			continue
+		}
+		if fn := h.servFailFn(); fn != nil && fn(question.Name) {
+			resp.Header.RCode = dnsmsg.RCodeServFail
 			continue
 		}
 		ip, err := h.resolver.LookupHost(question.Name)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"panoptes/internal/capture"
+	"panoptes/internal/faultsim"
 	"panoptes/internal/netsim"
 	"panoptes/internal/obs"
 	"panoptes/internal/pki"
@@ -114,6 +115,22 @@ type Proxy struct {
 	transport   *http.Transport
 	upstreamRTT time.Duration
 	closed      bool
+	faults      *faultsim.Injector
+}
+
+// SetFaults installs (or clears, with nil) the fault injector consulted
+// before TLS handshakes (tls_handshake / pin_reject) and per proxied
+// exchange (read_timeout / stream_reset / http_5xx / slow_response).
+func (p *Proxy) SetFaults(inj *faultsim.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = inj
+}
+
+func (p *Proxy) faultsInj() *faultsim.Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
 }
 
 // certCall is one in-flight leaf mint waiters block on.
@@ -301,11 +318,18 @@ func (p *Proxy) handleConn(client net.Conn) {
 
 	if first[0] == 0x16 { // TLS ClientHello
 		leafHost := host
+		// Armed TLS faults (tls_handshake, pin_reject) fail leaf minting so
+		// the client sees a fatal handshake alert, exactly like a pinning
+		// app slamming the door on the MITM certificate.
+		faultKind, tlsFault := p.faultsInj().TLSFault(uid, host)
 		cfg := &tls.Config{
 			GetCertificate: func(chi *tls.ClientHelloInfo) (*tls.Certificate, error) {
 				name := chi.ServerName
 				if name == "" {
 					name = leafHost
+				}
+				if tlsFault {
+					return nil, fmt.Errorf("mitm: injected %s for %s", faultKind, name)
 				}
 				return p.leafFor(name)
 			},
@@ -477,6 +501,50 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 				"HTTP/1.1 403 Forbidden\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
 				len(body), body)
 			return werr == nil
+		}
+	}
+
+	// Armed flow faults fire after capture (the flow is already filed, so a
+	// failed attempt's traffic can be quarantined by attempt tag) but
+	// before forwarding, standing in for a misbehaving origin.
+	if kind, ok := p.faultsInj().FlowFault(uid, flow.Host); ok {
+		switch kind {
+		case faultsim.SlowResponse:
+			// Benign: the origin answers, just slowly (wall clock, like
+			// UpstreamRTT). The exchange then proceeds normally.
+			time.Sleep(25 * time.Millisecond)
+		case faultsim.HTTP5xx:
+			sp.SetAttr("result", "fault:http_5xx")
+			flow.Status = http.StatusInternalServerError
+			flow.Err = "faultsim: injected http_5xx"
+			for _, a := range addons {
+				a.Response(flow, nil)
+			}
+			body := "panoptes-faultsim: injected 500"
+			fmt.Fprintf(client,
+				"HTTP/1.1 500 Internal Server Error\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
+				len(body), body)
+			return false
+		case faultsim.StreamReset:
+			// Promise 1000 body bytes, deliver a few, drop the connection:
+			// the client's body read dies with an unexpected EOF.
+			sp.SetAttr("result", "fault:stream_reset")
+			flow.Status = http.StatusOK
+			flow.Err = "faultsim: injected stream_reset"
+			for _, a := range addons {
+				a.Response(flow, nil)
+			}
+			fmt.Fprint(client, "HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\npartial")
+			return false
+		default: // faultsim.ReadTimeout
+			// The origin never answers: no response bytes, connection
+			// dropped, so the client errors out reading the response.
+			sp.SetAttr("result", "fault:read_timeout")
+			flow.Err = "faultsim: injected read_timeout"
+			for _, a := range addons {
+				a.Response(flow, nil)
+			}
+			return false
 		}
 	}
 

@@ -58,6 +58,24 @@ func (e *ErrNoSuchHost) Error() string {
 	return fmt.Sprintf("netsim: no such host: %s", e.Host)
 }
 
+// ErrTimeout is a network timeout (connect or read). The simulation has no
+// real packet loss, so timeouts only arise from fault injection; the type
+// satisfies net.Error so stdlib callers classify it like a real one.
+type ErrTimeout struct {
+	Op   string // "connect", "read"
+	Addr string
+}
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("netsim: %s to %s timed out", e.Op, e.Addr)
+}
+
+// Timeout implements net.Error.
+func (e *ErrTimeout) Timeout() bool { return true }
+
+// Temporary implements net.Error (deprecated but still consulted).
+func (e *ErrTimeout) Temporary() bool { return true }
+
 // Internet is the top-level virtual network: address allocator, DNS
 // authority and listener registry. The zero value is not usable; call New.
 type Internet struct {
@@ -71,8 +89,27 @@ type Internet struct {
 	nextSlash uint32            // next /16 block number
 	h3        map[string]bool   // domains advertising HTTP/3
 
+	// faultHook, when set, is consulted on every lookup (op "lookup") and
+	// dial (op "dial") with the bare host; a non-nil return aborts the
+	// operation with that error. internal/faultsim installs its chaos hook
+	// here (netsim must not import faultsim, so the hook is a function).
+	faultHook func(op, host string) error
+
 	udpMu sync.Mutex
 	udp   map[string]*UDPEndpoint // "ip:port" -> endpoint
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (in *Internet) SetFaultHook(fn func(op, host string) error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faultHook = fn
+}
+
+func (in *Internet) faultHookFn() func(op, host string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faultHook
 }
 
 // New returns an empty Internet. Address blocks are carved from
@@ -154,6 +191,11 @@ func (in *Internet) RegisterDomain(fqdn, country string) net.IP {
 func (in *Internet) LookupHost(host string) (net.IP, error) {
 	if ip := net.ParseIP(host); ip != nil {
 		return ip, nil
+	}
+	if fn := in.faultHookFn(); fn != nil {
+		if err := fn("lookup", host); err != nil {
+			return nil, err
+		}
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -332,6 +374,11 @@ func (in *Internet) Dial(ctx context.Context, addr string, opts ...DialOption) (
 	var port int
 	if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
 		return nil, fmt.Errorf("netsim: dial %s: bad port: %w", addr, err)
+	}
+	if fn := in.faultHookFn(); fn != nil {
+		if err := fn("dial", host); err != nil {
+			return nil, err
+		}
 	}
 	ip, err := in.LookupHost(host)
 	if err != nil {

@@ -97,6 +97,7 @@ func (a *SplitterAddon) Request(f *capture.Flow, req *http.Request) {
 		f.Browser = v.Browser
 		f.VisitURL = v.URL
 		f.Incognito = v.Incognito
+		f.Attempt = v.Attempt
 	}
 	a.DB.StoreFor(f.Origin).Add(f)
 }

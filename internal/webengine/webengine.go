@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -138,6 +139,42 @@ func (e *Engine) AddInjection(inj Injection) {
 // Close releases the engine's pooled connections.
 func (e *Engine) Close() {
 	e.client.CloseIdleConnections()
+}
+
+// SetTimeout sets the engine's per-request ceiling (the client timeout),
+// bounding document and sub-resource fetches so NavigateTimeout holds end
+// to end even when an origin stops answering. Non-positive values are
+// ignored. Call it before navigating, not with requests in flight.
+func (e *Engine) SetTimeout(d time.Duration) {
+	if d > 0 {
+		e.client.Timeout = d
+	}
+}
+
+// ResolvedHosts returns the session's resolved-host cache, sorted — the
+// part of engine session state a campaign checkpoint must carry so a
+// resumed browser does not re-resolve (and re-leak) hosts it already
+// looked up.
+func (e *Engine) ResolvedHosts() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.resolved))
+	for h := range e.resolved {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetResolvedHosts replaces the session's resolved-host cache (restore
+// counterpart of ResolvedHosts).
+func (e *Engine) SetResolvedHosts(hosts []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.resolved = make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		e.resolved[h] = true
+	}
 }
 
 // ResetSession clears per-session state (resolved-host cache), as opening

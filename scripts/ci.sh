@@ -33,6 +33,13 @@ go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
 echo "==> go test -race (core, leak: the concurrent campaign scheduler)"
 go test -race ./internal/core/... ./internal/leak/...
 
+echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
+# A seeded chaos campaign must complete with every browser intact and
+# every failed visit classified, and the determinism keystone must hold
+# across straight/resumed runs at parallelism 1 and 8.
+go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism' \
+    ./internal/core/ ./internal/faultsim/
+
 echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N)"
 go test -run '^$' -bench CrawlScaling -benchtime=1x .
 
