@@ -507,6 +507,77 @@ func BenchmarkCountermeasure(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingRetention runs the same crawl with flow retention
+// on and off: the streaming analyzers make the figures independent of
+// the stores, so retain=none should hold resident flows (and retained
+// bytes) at zero with no visible throughput cost — the memory-bound
+// axis for paper-scale (1000-site) campaigns.
+func BenchmarkStreamingRetention(b *testing.B) {
+	for _, retain := range []capture.RetainMode{capture.RetainAll, capture.RetainNone} {
+		name := "retain=all"
+		if retain == capture.RetainNone {
+			name = "retain=none"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				w, err := core.NewWorld(core.WorldConfig{
+					Sites:    8,
+					Profiles: []*profiles.Profile{profiles.Chrome(), profiles.Yandex(), profiles.Opera()},
+					Retain:   retain,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := w.RunCampaign(core.CampaignConfig{Parallelism: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed := time.Since(start).Seconds()
+				if rows := w.Suite.Fig2.Rows(); len(rows) == 0 {
+					b.Fatal("streaming suite produced no Figure 2 rows")
+				}
+				resident := w.DB.Engine.Len() + w.DB.Native.Len() +
+					w.DB.Engine.Pending() + w.DB.Native.Pending()
+				if retain == capture.RetainNone && resident != 0 {
+					b.Fatalf("retain=none left %d flows resident", resident)
+				}
+				b.ReportMetric(float64(len(res.Visits))/elapsed, "visits/sec")
+				b.ReportMetric(float64(resident), "resident_flows")
+				b.ReportMetric(float64(w.DB.Engine.TotalBytes(false)+w.DB.Native.TotalBytes(false)), "bytes_retained")
+				w.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisStreamingVsBatch compares producing every figure
+// from the live streaming suite (already folded in during the crawl —
+// rendering is all that remains) against replaying the retained stores
+// through the batch wrappers.
+func BenchmarkAnalysisStreamingVsBatch(b *testing.B) {
+	w, names := study(b)
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			report.Fig2(io.Discard, w.Suite.Fig2.Rows())
+			report.Fig3(io.Discard, w.Suite.Fig3.Rows())
+			report.Fig4(io.Discard, w.Suite.Fig4.Rows())
+			report.Table2(io.Discard, w.Suite.PII.Matrix(), names)
+			report.Leaks(io.Discard, leak.Summarise(w.Suite.LeakNative.Findings()))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			report.Fig2(io.Discard, analysis.Fig2(w.DB, names))
+			report.Fig3(io.Discard, analysis.Fig3(w.DB.Native, w.Hostlist, names))
+			report.Fig4(io.Discard, analysis.Fig4(w.DB, names))
+			m, _ := analysis.Table2(w.DB.Native, names)
+			report.Table2(io.Discard, m, names)
+			report.Leaks(io.Discard, leak.Summarise(analysis.HistoryLeaks(w.DB.Native)))
+		}
+	})
+}
+
 // BenchmarkCrawlScaling measures end-to-end crawl throughput (visits per
 // second of wall clock) along two axes: site count on a single browser
 // (sites=N, the per-visit cost sweep) and scheduler parallelism on the

@@ -25,6 +25,7 @@ import (
 
 	"panoptes/internal/analysis"
 	"panoptes/internal/blocker"
+	"panoptes/internal/capture"
 	"panoptes/internal/core"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/leak"
@@ -42,6 +43,7 @@ func main() {
 		idleDur   = flag.Duration("idle", 10*time.Minute, "idle-experiment duration (virtual time)")
 		outDir    = flag.String("out", "", "directory for JSONL flow databases and CSV outputs")
 		harOut    = flag.Bool("har", false, "with -out: also export HAR 1.2 archives")
+		retain    = flag.String("retain", "all", "flow retention: all, native (drop engine flows after streaming analysis) or none (drop all; with -out, dropped flows spill to JSONL as they commit)")
 		block     = flag.Bool("block", false, "install the countermeasure blocker (internal/blocker)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
@@ -66,6 +68,21 @@ func main() {
 		crossF   = flag.Bool("crosscheck", false, "validate proxy byte accounting against kernel eBPF counters")
 	)
 	flag.Parse()
+
+	var retainMode capture.RetainMode
+	switch *retain {
+	case "all":
+		retainMode = capture.RetainAll
+	case "native":
+		retainMode = capture.RetainNative
+	case "none":
+		retainMode = capture.RetainNone
+	default:
+		fatalf("unknown -retain mode %q (all, native, none)", *retain)
+	}
+	if retainMode != capture.RetainAll && *checkpoint != "" {
+		fatalf("-checkpoint requires -retain=all (checkpoints snapshot the flow databases)")
+	}
 
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
@@ -114,11 +131,32 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "panoptes: assembling testbed (%d sites, %d browsers)...\n", *sites, len(selected))
-	w, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected})
+	w, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected, Retain: retainMode})
 	if err != nil {
 		fatalf("world: %v", err)
 	}
 	defer w.Close()
+
+	// With retention off, committed flows stream through the analyzers
+	// and are then dropped; given -out they spill to the JSONL databases
+	// incrementally instead of being exported at the end.
+	var spillFiles []*os.File
+	spillTo := func(store *capture.Store, name string) {
+		f := createFile(*outDir, name)
+		store.SetSpill(f)
+		spillFiles = append(spillFiles, f)
+	}
+	if *outDir != "" && !w.DB.Engine.Retained() {
+		spillTo(w.DB.Engine, "engine.jsonl")
+	}
+	if *outDir != "" && !w.DB.Native.Retained() {
+		spillTo(w.DB.Native, "native.jsonl")
+	}
+	defer func() {
+		for _, f := range spillFiles {
+			f.Close()
+		}
+	}()
 
 	var blk *blocker.Blocker
 	if *block {
@@ -177,8 +215,11 @@ func main() {
 		}
 	}
 
+	// Every figure and table below is read from the streaming suite —
+	// the analyzers folded each flow in as it committed, so rendering no
+	// longer touches the flow databases and works under -retain=none.
 	if *fig2 {
-		rows := analysis.Fig2(w.DB, names)
+		rows := w.Suite.Fig2.Rows()
 		report.Fig2(os.Stdout, rows)
 		fmt.Println()
 		if *outDir != "" {
@@ -186,11 +227,11 @@ func main() {
 		}
 	}
 	if *fig3 {
-		report.Fig3(os.Stdout, analysis.Fig3(w.DB.Native, w.Hostlist, names))
+		report.Fig3(os.Stdout, w.Suite.Fig3.Rows())
 		fmt.Println()
 	}
 	if *fig4 {
-		rows := analysis.Fig4(w.DB, names)
+		rows := w.Suite.Fig4.Rows()
 		report.Fig4(os.Stdout, rows)
 		fmt.Println()
 		if *outDir != "" {
@@ -198,8 +239,7 @@ func main() {
 		}
 	}
 	if *table2 {
-		m, _ := analysis.Table2(w.DB.Native, names)
-		report.Table2(os.Stdout, m, names)
+		report.Table2(os.Stdout, w.Suite.PII.Matrix(), names)
 		fmt.Println()
 	}
 	var findings []leak.Finding
@@ -210,12 +250,13 @@ func main() {
 				injected = append(injected, p.Name)
 			}
 		}
-		findings = analysis.HistoryLeaksWithInjected(w.DB, injected)
+		findings = analysis.CombineInjectedLeaks(
+			w.Suite.LeakNative.Findings(), w.Suite.LeakEngine.Findings(), injected)
 	}
 	if *leaksF {
 		report.Leaks(os.Stdout, leak.Summarise(findings))
 		fmt.Println()
-		report.TrackableIDs(os.Stdout, analysis.TrackableIdentifiers(w.DB.Native))
+		report.TrackableIDs(os.Stdout, w.Suite.Trackable.IDs())
 		fmt.Println()
 		// Per-category sensitive breakdown over the crawled dataset.
 		cats := map[string]string{}
@@ -247,7 +288,7 @@ func main() {
 		fmt.Println()
 	}
 	if *dnsF {
-		report.DNS(os.Stdout, analysis.DNSUsage(w.DB.Native, names), names)
+		report.DNS(os.Stdout, w.Suite.DNS.Usage(), names)
 		fmt.Println()
 	}
 	if *crossF {
@@ -255,11 +296,11 @@ func main() {
 		for name, b := range w.Browsers {
 			uidOf[name] = b.UID()
 		}
-		report.VolumeCrossCheck(os.Stdout, analysis.CrossCheckVolumes(w.DB, w.Device.Accounting, uidOf))
+		report.VolumeCrossCheck(os.Stdout, analysis.CrossCheckFrom(w.Suite.Fig4.ReqBytesTotal, w.Device.Accounting, uidOf))
 		fmt.Println()
 	}
 	if *listing1 {
-		body, _ := analysis.Listing1(w.DB.Native)
+		body, _ := w.Suite.Listing1.Result()
 		report.Listing1(os.Stdout, body)
 		fmt.Println()
 	}
@@ -295,6 +336,8 @@ func main() {
 	if needCrawl || *fig5 {
 		report.CampaignObsSummary(os.Stdout, obs.Default)
 		fmt.Println()
+		report.PipelineObsSummary(os.Stdout, obs.Default)
+		fmt.Println()
 		report.MetricsSummary(os.Stdout, obs.Default)
 		fmt.Println()
 	}
@@ -308,12 +351,36 @@ func main() {
 	}
 
 	if *outDir != "" && needCrawl {
-		writeFile(*outDir, "engine.jsonl", func(f *os.File) { w.DB.Engine.WriteJSONL(f) })
-		writeFile(*outDir, "native.jsonl", func(f *os.File) { w.DB.Native.WriteJSONL(f) })
+		// Unretained stores were spilled incrementally above; only the
+		// retained ones have anything left to export.
+		if w.DB.Engine.Retained() {
+			writeFile(*outDir, "engine.jsonl", func(f *os.File) { w.DB.Engine.WriteJSONL(f) })
+		}
+		if w.DB.Native.Retained() {
+			writeFile(*outDir, "native.jsonl", func(f *os.File) { w.DB.Native.WriteJSONL(f) })
+		}
 		writeFile(*outDir, "trace.jsonl", func(f *os.File) { w.Trace.WriteJSONL(f) })
 		if *harOut {
-			writeFile(*outDir, "engine.har", func(f *os.File) { w.DB.Engine.WriteHAR(f) })
-			writeFile(*outDir, "native.har", func(f *os.File) { w.DB.Native.WriteHAR(f) })
+			if !w.DB.Engine.Retained() || !w.DB.Native.Retained() {
+				fmt.Fprintf(os.Stderr, "panoptes: skipping HAR export for unretained flow databases (-retain=%s)\n", *retain)
+			}
+			if w.DB.Engine.Retained() {
+				writeFile(*outDir, "engine.har", func(f *os.File) { w.DB.Engine.WriteHAR(f) })
+			}
+			if w.DB.Native.Retained() {
+				writeFile(*outDir, "native.har", func(f *os.File) { w.DB.Native.WriteHAR(f) })
+			}
+		}
+		for _, f := range spillFiles {
+			if err := f.Sync(); err != nil {
+				fatalf("sync %s: %v", f.Name(), err)
+			}
+		}
+		if err := w.DB.Engine.SpillErr(); err != nil {
+			fatalf("engine spill: %v", err)
+		}
+		if err := w.DB.Native.SpillErr(); err != nil {
+			fatalf("native spill: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "panoptes: flow databases written to %s\n", *outDir)
 	}
@@ -340,6 +407,12 @@ func knownNames() string {
 }
 
 func writeFile(dir, name string, write func(*os.File)) {
+	f := createFile(dir, name)
+	defer f.Close()
+	write(f)
+}
+
+func createFile(dir, name string) *os.File {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fatalf("mkdir %s: %v", dir, err)
 	}
@@ -347,8 +420,7 @@ func writeFile(dir, name string, write func(*os.File)) {
 	if err != nil {
 		fatalf("create %s: %v", name, err)
 	}
-	defer f.Close()
-	write(f)
+	return f
 }
 
 func startVirtual() time.Time {

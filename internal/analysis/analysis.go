@@ -13,11 +13,7 @@ package analysis
 import (
 	"fmt"
 	"net"
-	"net/url"
-	"runtime"
 	"sort"
-	"strings"
-	"sync"
 	"time"
 
 	"panoptes/internal/capture"
@@ -28,97 +24,11 @@ import (
 	"panoptes/internal/pii"
 )
 
-// reduceShards maps fn over every shard of a store with a bounded worker
-// pool and returns the per-shard partials (indexed by shard). The
-// aggregations built on it (Figures 2–4) combine partials with
-// order-insensitive merges — counts, sums, set unions — so their output
-// is identical to a single sequential pass.
-func reduceShards[T any](s *capture.Store, fn func([]*capture.Flow) T) []T {
-	partials := make([]T, capture.NumShards)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > capture.NumShards {
-		workers = capture.NumShards
-	}
-	shardCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range shardCh {
-				partials[i] = fn(s.ShardSnapshot(i))
-			}
-		}()
-	}
-	for i := 0; i < capture.NumShards; i++ {
-		shardCh <- i
-	}
-	close(shardCh)
-	wg.Wait()
-	return partials
-}
-
-// countByBrowser tallies flows per browser app name across shards.
-func countByBrowser(s *capture.Store) map[string]int {
-	partials := reduceShards(s, func(flows []*capture.Flow) map[string]int {
-		m := map[string]int{}
-		for _, f := range flows {
-			m[f.Browser]++
-		}
-		return m
-	})
-	total := map[string]int{}
-	for _, p := range partials {
-		for b, n := range p {
-			total[b] += n
-		}
-	}
-	return total
-}
-
-// bytesByBrowser sums request wire bytes per browser across shards.
-func bytesByBrowser(s *capture.Store) map[string]int64 {
-	partials := reduceShards(s, func(flows []*capture.Flow) map[string]int64 {
-		m := map[string]int64{}
-		for _, f := range flows {
-			m[f.Browser] += int64(f.ReqBytes)
-		}
-		return m
-	})
-	total := map[string]int64{}
-	for _, p := range partials {
-		for b, n := range p {
-			total[b] += n
-		}
-	}
-	return total
-}
-
-// hostsByBrowser collects the distinct destination hosts per browser.
-func hostsByBrowser(s *capture.Store) map[string]map[string]bool {
-	partials := reduceShards(s, func(flows []*capture.Flow) map[string]map[string]bool {
-		m := map[string]map[string]bool{}
-		for _, f := range flows {
-			if m[f.Browser] == nil {
-				m[f.Browser] = map[string]bool{}
-			}
-			m[f.Browser][f.Host] = true
-		}
-		return m
-	})
-	total := map[string]map[string]bool{}
-	for _, p := range partials {
-		for b, hosts := range p {
-			if total[b] == nil {
-				total[b] = map[string]bool{}
-			}
-			for h := range hosts {
-				total[b][h] = true
-			}
-		}
-	}
-	return total
-}
+// The batch functions below are the replay drive mode of the
+// incremental analyzers in stream.go: each builds a fresh analyzer,
+// replays the store(s) through it in insertion order and finalizes.
+// Streaming a campaign through the commit tap produces byte-identical
+// results (enforced by TestFaultCampaignDeterminism's golden check).
 
 // Fig2Row is one browser's engine/native request counts (Figure 2).
 type Fig2Row struct {
@@ -128,20 +38,18 @@ type Fig2Row struct {
 	Ratio   float64 // native / engine
 }
 
-// Fig2 computes request counts per browser. Both databases are tallied
-// shard-parallel; the per-browser counts are merge-order invariant.
+// Fig2 computes request counts per browser by replaying both databases
+// through a Fig2Analyzer. The replay forces each store's origin, so
+// hand-built stores without origin stamps tally correctly.
 func Fig2(db *capture.DB, browsers []string) []Fig2Row {
-	engine := countByBrowser(db.Engine)
-	native := countByBrowser(db.Native)
-	rows := make([]Fig2Row, 0, len(browsers))
-	for _, b := range browsers {
-		r := Fig2Row{Browser: b, Engine: engine[b], Native: native[b]}
-		if r.Engine > 0 {
-			r.Ratio = float64(r.Native) / float64(r.Engine)
-		}
-		rows = append(rows, r)
+	a := NewFig2Analyzer(browsers)
+	for _, f := range db.Engine.All() {
+		a.observe(f, capture.OriginEngine)
 	}
-	return rows
+	for _, f := range db.Native.All() {
+		a.observe(f, capture.OriginNative)
+	}
+	return a.Rows()
 }
 
 // Fig3Row is one browser's native-destination ad share (Figure 3).
@@ -155,26 +63,14 @@ type Fig3Row struct {
 
 // Fig3 computes, per browser, the share of distinct domains (FQDNs, as
 // captured) receiving native requests that the hosts list classifies as
-// ad/analytics-related.
+// ad/analytics-related, by replaying the native store through a
+// Fig3Analyzer.
 func Fig3(native *capture.Store, list *hostlist.List, browsers []string) []Fig3Row {
-	perBrowser := hostsByBrowser(native)
-	rows := make([]Fig3Row, 0, len(browsers))
-	for _, b := range browsers {
-		domains := perBrowser[b]
-		row := Fig3Row{Browser: b, DistinctDomains: len(domains)}
-		for d := range domains {
-			if list.AdRelated(d) {
-				row.AdDomains++
-				row.AdDomainList = append(row.AdDomainList, d)
-			}
-		}
-		sort.Strings(row.AdDomainList)
-		if row.DistinctDomains > 0 {
-			row.AdPct = 100 * float64(row.AdDomains) / float64(row.DistinctDomains)
-		}
-		rows = append(rows, row)
+	a := NewFig3Analyzer(list, browsers)
+	for _, f := range native.All() {
+		a.observe(f)
 	}
-	return rows
+	return a.Rows()
 }
 
 // Fig4Row is one browser's outgoing byte volumes (Figure 4).
@@ -185,19 +81,17 @@ type Fig4Row struct {
 	OverheadPct float64 // native as % of engine
 }
 
-// Fig4 sums outgoing (request) bytes per browser, shard-parallel.
+// Fig4 sums outgoing (request) bytes per browser by replaying both
+// databases through a Fig4Analyzer.
 func Fig4(db *capture.DB, browsers []string) []Fig4Row {
-	engine := bytesByBrowser(db.Engine)
-	native := bytesByBrowser(db.Native)
-	rows := make([]Fig4Row, 0, len(browsers))
-	for _, b := range browsers {
-		r := Fig4Row{Browser: b, EngineBytes: engine[b], NativeBytes: native[b]}
-		if r.EngineBytes > 0 {
-			r.OverheadPct = 100 * float64(r.NativeBytes) / float64(r.EngineBytes)
-		}
-		rows = append(rows, r)
+	a := NewFig4Analyzer(browsers)
+	for _, f := range db.Engine.All() {
+		a.observe(f, capture.OriginEngine)
 	}
-	return rows
+	for _, f := range db.Native.All() {
+		a.observe(f, capture.OriginNative)
+	}
+	return a.Rows()
 }
 
 // Fig5Series is one browser's idle timeline (Figure 5).
@@ -295,7 +189,18 @@ func HistoryLeaks(native *capture.Store) []leak.Finding {
 // Without any non-injecting browser in the dataset the baseline is empty
 // and every engine finding for the injected browsers is kept.
 func HistoryLeaksWithInjected(db *capture.DB, injected []string) []leak.Finding {
-	out := HistoryLeaks(db.Native)
+	if len(injected) == 0 {
+		return HistoryLeaks(db.Native)
+	}
+	return CombineInjectedLeaks(HistoryLeaks(db.Native), HistoryLeaks(db.Engine), injected)
+}
+
+// CombineInjectedLeaks implements the differential filter over
+// already-computed native and engine finding sets, so the streaming
+// path (which holds both sets incrementally) shares the exact logic
+// with the batch wrapper above.
+func CombineInjectedLeaks(native, engine []leak.Finding, injected []string) []leak.Finding {
+	out := native
 	if len(injected) == 0 {
 		return out
 	}
@@ -303,16 +208,15 @@ func HistoryLeaksWithInjected(db *capture.DB, injected []string) []leak.Finding 
 	for _, b := range injected {
 		injectedSet[b] = true
 	}
-	engineFindings := HistoryLeaks(db.Engine)
 	baseline := map[string]bool{}
 	haveBaseline := false
-	for _, f := range engineFindings {
+	for _, f := range engine {
 		if !injectedSet[f.Browser] {
 			baseline[f.Host] = true
 			haveBaseline = true
 		}
 	}
-	for _, f := range engineFindings {
+	for _, f := range engine {
 		if injectedSet[f.Browser] && (!haveBaseline || !baseline[f.Host]) {
 			out = append(out, f)
 		}
@@ -368,33 +272,24 @@ func GeoTransfers(findings []leak.Finding, resolver HostResolver, geo *geoip.DB)
 }
 
 // DNSUsage classifies each browser's resolver path from the captured
-// native flows: "doh-cloudflare", "doh-google" or "local".
+// native flows ("doh-cloudflare", "doh-google" or "local") by
+// replaying the store through a DNSAnalyzer.
 func DNSUsage(native *capture.Store, browsers []string) map[string]string {
-	out := make(map[string]string, len(browsers))
-	for _, b := range browsers {
-		mode := "local"
-		for _, f := range native.ByBrowser(b) {
-			switch f.Host {
-			case "cloudflare-dns.com":
-				mode = "doh-cloudflare"
-			case "dns.google":
-				mode = "doh-google"
-			}
-		}
-		out[b] = mode
+	a := NewDNSAnalyzer(browsers)
+	for _, f := range native.All() {
+		a.observe(f)
 	}
-	return out
+	return a.Usage()
 }
 
 // Listing1 finds a captured Opera OLeads ad request (the paper's
 // Listing 1) and returns its body, or "" when absent.
 func Listing1(native *capture.Store) (body string, query string) {
-	for _, f := range native.ByBrowser("Opera") {
-		if f.Host == "s-odx.oleads.com" && f.Method == "POST" {
-			return string(f.Body), f.RawQuery
-		}
+	a := NewListing1Analyzer()
+	for _, f := range native.All() {
+		a.observe(f)
 	}
-	return "", ""
+	return a.Result()
 }
 
 // UIDOnlySplit is the ablation for the taint mechanism: classify flows
@@ -424,20 +319,28 @@ type VolumeCheck struct {
 // handshakes, DoH — so its per-UID egress must be at least the HTTP
 // request bytes the proxy reconstructed for the same app.
 func CrossCheckVolumes(db *capture.DB, acct *ebpfsim.TrafficAccounting, uidOf map[string]int) []VolumeCheck {
+	a := NewFig4Analyzer(nil)
+	for _, f := range db.Engine.All() {
+		a.observe(f, capture.OriginEngine)
+	}
+	for _, f := range db.Native.All() {
+		a.observe(f, capture.OriginNative)
+	}
+	return CrossCheckFrom(a.ReqBytesTotal, acct, uidOf)
+}
+
+// CrossCheckFrom is the source-agnostic form of CrossCheckVolumes:
+// proxyBytes supplies a browser's proxy-observed request bytes (the
+// streaming path passes the campaign suite's Fig4 analyzer).
+func CrossCheckFrom(proxyBytes func(browser string) int64, acct *ebpfsim.TrafficAccounting, uidOf map[string]int) []VolumeCheck {
 	var rows []VolumeCheck
 	for browser, uid := range uidOf {
-		var proxyBytes int64
-		for _, f := range db.Engine.ByBrowser(browser) {
-			proxyBytes += int64(f.ReqBytes)
-		}
-		for _, f := range db.Native.ByBrowser(browser) {
-			proxyBytes += int64(f.ReqBytes)
-		}
+		pb := proxyBytes(browser)
 		kernel := int64(acct.TxBytes.Get(fmt.Sprint(uid)))
 		rows = append(rows, VolumeCheck{
 			Browser: browser, UID: uid,
-			ProxyReqBytes: proxyBytes, KernelTxBytes: kernel,
-			Consistent: kernel >= proxyBytes,
+			ProxyReqBytes: pb, KernelTxBytes: kernel,
+			Consistent: kernel >= pb,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Browser < rows[j].Browser })
@@ -460,50 +363,14 @@ type TrackableID struct {
 
 // TrackableIdentifiers mines the native store for long identifier-like
 // query values sent repeatedly to the same endpoint, and reports them
-// most-persistent first (fewest distinct values over most sightings).
+// most-persistent first (fewest distinct values over most sightings),
+// by replaying the store through a TrackableAnalyzer.
 func TrackableIdentifiers(native *capture.Store) []TrackableID {
-	ids := leak.PersistentIDs(native)
-	var out []TrackableID
-	for browser, byHostKey := range ids {
-		for hostKey, values := range byHostKey {
-			i := strings.IndexByte(hostKey, '?')
-			host, param := hostKey[:i], hostKey[i+1:]
-			// Sightings: flows to that host carrying any observed value
-			// (query parameter or JSON body).
-			sightings := 0
-			for _, f := range native.ByBrowser(browser) {
-				if f.Host != host {
-					continue
-				}
-				hay := f.RawQuery + string(f.Body)
-				if dec, err := url.QueryUnescape(f.RawQuery); err == nil {
-					hay += dec
-				}
-				for _, v := range values {
-					if strings.Contains(hay, v) {
-						sightings++
-						break
-					}
-				}
-			}
-			out = append(out, TrackableID{
-				Browser: browser, Host: host, Param: param,
-				Values:    values,
-				Sightings: sightings,
-			})
-		}
+	a := NewTrackableAnalyzer()
+	for _, f := range native.All() {
+		a.observe(f)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		// Stable (1 value) and frequently seen first.
-		if len(out[i].Values) != len(out[j].Values) {
-			return len(out[i].Values) < len(out[j].Values)
-		}
-		if out[i].Sightings != out[j].Sightings {
-			return out[i].Sightings > out[j].Sightings
-		}
-		return out[i].Browser+out[i].Host < out[j].Browser+out[j].Host
-	})
-	return out
+	return a.IDs()
 }
 
 // SensitiveRow is one browser × category cell of the sensitive-content

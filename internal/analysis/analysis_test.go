@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -126,7 +127,7 @@ func TestFig3Shape(t *testing.T) {
 	// Kiwi's ad destinations include the domains the paper names.
 	kiwi := rowFor3(rows, "Kiwi")
 	for _, d := range []string{"rubiconproject.com", "adnxs.com", "openx.net", "pubmatic.com", "bidswitch.net", "demdex.net"} {
-		if !containsStr(kiwi.AdDomainList, d) {
+		if !slices.Contains(kiwi.AdDomainList, d) {
 			t.Errorf("Kiwi ad domains missing %s: %v", d, kiwi.AdDomainList)
 		}
 	}
@@ -145,15 +146,6 @@ func rowFor3(rows []analysis.Fig3Row, name string) analysis.Fig3Row {
 		}
 	}
 	return analysis.Fig3Row{}
-}
-
-func containsStr(ss []string, s string) bool {
-	for _, x := range ss {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }
 
 func TestFig4Shape(t *testing.T) {
@@ -226,21 +218,21 @@ func TestHistoryLeaksMatchPaper(t *testing.T) {
 		t.Logf("Leak %-16s full=%v domain=%v", s.Browser, s.FullURLHosts, s.DomainHosts)
 	}
 	// Yandex and QQ leak full URLs natively.
-	if !containsStr(full["Yandex"], "sba.yandex.net") {
+	if !slices.Contains(full["Yandex"], "sba.yandex.net") {
 		t.Errorf("Yandex full-URL leak to sba.yandex.net missing: %v", full["Yandex"])
 	}
-	if !containsStr(full["QQ"], "wup.browser.qq.com") {
+	if !slices.Contains(full["QQ"], "wup.browser.qq.com") {
 		t.Errorf("QQ full-URL leak missing: %v", full["QQ"])
 	}
 	// Edge reports every visited domain to the Bing API; Opera to
 	// Sitecheck; Yandex's api.browser gets the hostname.
-	if !containsStr(domain["Edge"], "api.bing.com") {
+	if !slices.Contains(domain["Edge"], "api.bing.com") {
 		t.Errorf("Edge domain leak to Bing missing: %v", domain["Edge"])
 	}
-	if !containsStr(domain["Opera"], "sitecheck2.opera.com") {
+	if !slices.Contains(domain["Opera"], "sitecheck2.opera.com") {
 		t.Errorf("Opera Sitecheck leak missing: %v", domain["Opera"])
 	}
-	if !containsStr(domain["Yandex"], "api.browser.yandex.ru") {
+	if !slices.Contains(domain["Yandex"], "api.browser.yandex.ru") {
 		t.Errorf("Yandex host leak missing: %v", domain["Yandex"])
 	}
 	// Clean browsers leak nothing.

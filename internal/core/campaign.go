@@ -243,9 +243,17 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		jobs = append(jobs, job{idx: len(jobs), name: name, b: b})
 	}
 
+	// A checkpoint snapshots the stores, so it needs them fully
+	// retained; refuse early rather than writing an empty snapshot.
+	if cfg.Checkpoint && !w.DB.FullyRetained() {
+		return nil, fmt.Errorf("core: checkpointing requires full flow retention (retain=all)")
+	}
+
 	// Re-adopt a checkpoint's committed flows before any crawl starts.
 	// Their attempt tags are cleared: they are committed history, not
-	// candidates for this run's quarantine.
+	// candidates for this run's quarantine. The commit tap replays them
+	// into the streaming analyzers, so a resumed run's incremental state
+	// picks up exactly where the checkpointed run left off.
 	if cfg.Resume != nil {
 		for _, f := range cfg.Resume.Engine {
 			f.Attempt = 0
@@ -541,6 +549,10 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisit
 			w.Faults.EndAttempt(b.UID())
 
 			if navErr == nil {
+				// The attempt's flows are committed: release parked
+				// flows to the spill sink (retention off) and discard
+				// the streaming analyzers' undo logs for the attempt.
+				w.DB.SealAttempt(aid)
 				// Commit: DOMContentLoaded (modelled load time) plus the
 				// settle window, on the virtual clock — §2.1's wait
 				// discipline. The advance is split so the navigate and

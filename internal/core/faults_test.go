@@ -1,16 +1,19 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
 	"testing"
 	"time"
 
 	"panoptes/internal/analysis"
+	"panoptes/internal/capture"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/leak"
 	"panoptes/internal/obs"
 	"panoptes/internal/pii"
+	"panoptes/internal/profiles"
 	"panoptes/internal/websim"
 )
 
@@ -98,6 +101,8 @@ func runFaultCampaign(t *testing.T, parallelism int, faulty, viaCheckpoint bool)
 		res = r2
 	}
 
+	assertStreamingMatchesBatch(t, w)
+
 	var browsers []string
 	for _, v := range res.Visits {
 		if len(browsers) == 0 || browsers[len(browsers)-1] != v.Browser {
@@ -111,6 +116,48 @@ func runFaultCampaign(t *testing.T, parallelism int, faulty, viaCheckpoint bool)
 		leaks[i].FlowID = 0 // process-global ticket numbers, not data
 	}
 	return fig2, matrix, leaks, res
+}
+
+// assertStreamingMatchesBatch is the tentpole's golden equivalence
+// check: every analysis the streaming suite computed incrementally on
+// the commit tap (retractions and all) must JSON-serialize to the same
+// bytes as its batch wrapper replaying the retained flow databases
+// after the fact. Called from runFaultCampaign, it covers the clean
+// run and every straight/resume × parallelism variant.
+func assertStreamingMatchesBatch(t *testing.T, w *World) {
+	t.Helper()
+	names := w.Suite.Names()
+	batchMatrix, batchPII := analysis.Table2(w.DB.Native, names)
+	sBody, sQuery := w.Suite.Listing1.Result()
+	bBody, bQuery := analysis.Listing1(w.DB.Native)
+	pairs := []struct {
+		name          string
+		stream, batch any
+	}{
+		{"fig2", w.Suite.Fig2.Rows(), analysis.Fig2(w.DB, names)},
+		{"fig3", w.Suite.Fig3.Rows(), analysis.Fig3(w.DB.Native, w.Hostlist, names)},
+		{"fig4", w.Suite.Fig4.Rows(), analysis.Fig4(w.DB, names)},
+		{"table2-matrix", w.Suite.PII.Matrix(), batchMatrix},
+		{"table2-findings", w.Suite.PII.Findings(), batchPII},
+		{"leaks-native", w.Suite.LeakNative.Findings(), analysis.HistoryLeaks(w.DB.Native)},
+		{"leaks-engine", w.Suite.LeakEngine.Findings(), analysis.HistoryLeaks(w.DB.Engine)},
+		{"dns", w.Suite.DNS.Usage(), analysis.DNSUsage(w.DB.Native, names)},
+		{"trackable", w.Suite.Trackable.IDs(), analysis.TrackableIdentifiers(w.DB.Native)},
+		{"listing1", [2]string{sBody, sQuery}, [2]string{bBody, bQuery}},
+	}
+	for _, p := range pairs {
+		sj, err := json.Marshal(p.stream)
+		if err != nil {
+			t.Fatalf("%s: marshal streaming result: %v", p.name, err)
+		}
+		bj, err := json.Marshal(p.batch)
+		if err != nil {
+			t.Fatalf("%s: marshal batch result: %v", p.name, err)
+		}
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("streaming %s diverges from batch replay:\nstream %s\nbatch  %s", p.name, sj, bj)
+		}
+	}
 }
 
 // TestFaultCampaignDeterminism is the resilience keystone: under a
@@ -167,6 +214,96 @@ func TestFaultCampaignDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(leaks, leaksClean) {
 			t.Errorf("%s: history leaks diverge from the fault-free run:\ngot  %+v\nwant %+v", v.name, leaks, leaksClean)
 		}
+	}
+}
+
+// TestRetentionBoundedCampaign runs the faulty parallel campaign with
+// flow retention off: every analysis must match a fully-retained run
+// while zero flows stay resident — committed flows are analyzed on the
+// commit tap and dropped, quarantined attempts are retracted straight
+// out of the pending buffers.
+func TestRetentionBoundedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two multi-browser crawls")
+	}
+	run := func(retain capture.RetainMode) *World {
+		var profs []*profiles.Profile
+		for _, n := range faultBrowsers {
+			profs = append(profs, profiles.ByName(n))
+		}
+		w, err := NewWorld(WorldConfig{Sites: 3, Profiles: profs, Retain: retain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		w.InstallFaults(faultsim.New(keystonePlan()))
+		res, err := w.RunCampaign(CampaignConfig{Parallelism: 8, NavigateTimeout: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("retain=%v: %d visits failed terminally: %+v", retain, res.Errors, res.Visits)
+		}
+		if res.Retries == 0 {
+			t.Fatalf("retain=%v: fault plan injected nothing", retain)
+		}
+		return w
+	}
+	full := run(capture.RetainAll)
+	none := run(capture.RetainNone)
+
+	if n := none.DB.Engine.Len() + none.DB.Native.Len(); n != 0 {
+		t.Fatalf("retain=none left %d flows resident", n)
+	}
+	if n := none.DB.Engine.Pending() + none.DB.Native.Pending(); n != 0 {
+		t.Fatalf("retain=none left %d flows parked in pending buffers", n)
+	}
+	if none.DB.Engine.Seen() == 0 || none.DB.Native.Seen() == 0 {
+		t.Fatal("retain=none run committed no flows")
+	}
+
+	// Flow IDs are process-global ticket numbers, so the two worlds'
+	// findings carry different IDs for the same leaks; zero them before
+	// comparing. Everything else must agree exactly.
+	scrub := func(fs []leak.Finding) []leak.Finding {
+		for i := range fs {
+			fs[i].FlowID = 0
+		}
+		return fs
+	}
+	suiteResults := func(w *World) map[string]any {
+		body, query := w.Suite.Listing1.Result()
+		return map[string]any{
+			"fig2":         w.Suite.Fig2.Rows(),
+			"fig3":         w.Suite.Fig3.Rows(),
+			"fig4":         w.Suite.Fig4.Rows(),
+			"table2":       w.Suite.PII.Matrix(),
+			"leaks-native": scrub(w.Suite.LeakNative.Findings()),
+			"leaks-engine": scrub(w.Suite.LeakEngine.Findings()),
+			"dns":          w.Suite.DNS.Usage(),
+			"trackable":    w.Suite.Trackable.IDs(),
+			"listing1":     [2]string{body, query},
+		}
+	}
+	want, got := suiteResults(full), suiteResults(none)
+	for name := range want {
+		wj, err := json.Marshal(want[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := json.Marshal(got[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wj, gj) {
+			t.Errorf("retain=none %s diverges from retain=all:\nnone %s\nall  %s", name, gj, wj)
+		}
+	}
+
+	// A bounded world cannot checkpoint: the snapshot would be missing
+	// its flows.
+	if _, err := none.RunCampaign(CampaignConfig{Checkpoint: true}); err == nil {
+		t.Error("checkpointing with retention off did not error")
 	}
 }
 

@@ -2,10 +2,55 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"panoptes/internal/capture"
 )
+
+// idleCollector is a transient pipeline analyzer that gathers one
+// browser's native flows during the idle window. Collecting off the
+// commit tap instead of filtering the store afterwards keeps the idle
+// experiment working when flow retention is off.
+type idleCollector struct {
+	uid int
+
+	mu    sync.Mutex
+	flows []*capture.Flow
+}
+
+func (c *idleCollector) Observe(f *capture.Flow) {
+	if f.Origin != capture.OriginNative || f.BrowserUID != c.uid {
+		return
+	}
+	c.mu.Lock()
+	c.flows = append(c.flows, f)
+	c.mu.Unlock()
+}
+
+// Retract is a no-op: no navigation attempts run during idle, so idle
+// flows are never attempt-tagged.
+func (c *idleCollector) Retract(int64) {}
+
+func (c *idleCollector) Finalize() any { return c.window(time.Time{}, time.Time{}) }
+
+// window returns the collected flows inside [start, end]; zero bounds
+// mean unbounded.
+func (c *idleCollector) window(start, end time.Time) []*capture.Flow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*capture.Flow
+	for _, f := range c.flows {
+		if !start.IsZero() && f.Time.Before(start) {
+			continue
+		}
+		if !end.IsZero() && f.Time.After(end) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
 
 // IdleResult is one browser's idle phone-home record (§3.5 / Figure 5).
 type IdleResult struct {
@@ -39,6 +84,13 @@ func (w *World) RunIdle(browserName string, duration time.Duration) (*IdleResult
 			return nil, err
 		}
 	}
+	// Collect off the commit tap (registered before Launch: the launch
+	// and wizard flows are stamped at the window's start instant and
+	// belong to the idle record).
+	col := &idleCollector{uid: b.UID()}
+	colName := "idle:" + browserName
+	w.Pipeline.Register(colName, col)
+	defer w.Pipeline.Unregister(colName)
 	if err := sess.Launch(); err != nil {
 		return nil, fmt.Errorf("core: idle launch: %w", err)
 	}
@@ -74,10 +126,7 @@ func (w *World) RunIdle(browserName string, duration time.Duration) (*IdleResult
 
 	w.Trace.SetActive(uid, nil)
 	idleSpan.End()
-	flows := w.DB.Native.Filter(func(f *capture.Flow) bool {
-		return f.BrowserUID == uid && !f.Time.Before(start) && !f.Time.After(end)
-	})
-	return &IdleResult{Browser: browserName, Start: start, End: end, Flows: flows}, nil
+	return &IdleResult{Browser: browserName, Start: start, End: end, Flows: col.window(start, end)}, nil
 }
 
 // RunIdleAll runs the idle experiment for every browser in the world.

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"panoptes/internal/analysis"
 	"panoptes/internal/appium"
 	"panoptes/internal/browser"
 	"panoptes/internal/capture"
@@ -24,6 +25,7 @@ import (
 	"panoptes/internal/mitm"
 	"panoptes/internal/netsim"
 	"panoptes/internal/obs"
+	"panoptes/internal/pipeline"
 	"panoptes/internal/pki"
 	"panoptes/internal/profiles"
 	"panoptes/internal/taint"
@@ -49,6 +51,12 @@ type WorldConfig struct {
 	// exchange (see mitm.Config.UpstreamRTT). Zero — the default, and
 	// what every test uses — keeps the instant in-memory network.
 	UpstreamRTT time.Duration
+	// Retain selects which capture databases keep flows resident in
+	// memory (capture.RetainAll, the default, RetainNative or
+	// RetainNone). With streaming analysis on the commit tap, dropping
+	// flows bounds resident memory; checkpointing and post-hoc exports
+	// need full retention.
+	Retain capture.RetainMode
 }
 
 // World is the fully-assembled testbed.
@@ -69,6 +77,12 @@ type World struct {
 	Visits   *capture.VisitContext
 	Splitter *taint.SplitterAddon
 	Token    string
+	// Pipeline is the commit tap on DB: every committed flow streams
+	// through the registered analyzers; quarantined attempts are
+	// retracted. Suite holds the standard analyzers (figures, Table 2,
+	// leak scans, DNS, trackable IDs, Listing 1) registered on it.
+	Pipeline *pipeline.Pipeline
+	Suite    *analysis.Suite
 	// Trace collects one span tree per page visit (navigate → intercept →
 	// mitm → capture), stamped with the virtual clock.
 	Trace *obs.Tracer
@@ -159,6 +173,21 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	w.Token = taint.NewToken()
 	w.Splitter = taint.NewSplitter(w.Token, w.DB, w.Visits)
 	w.Trace = obs.NewTracer(clock.Now)
+
+	// Streaming analysis plane: the suite's analyzers ride the commit
+	// tap, folding every flow in as it is stored. Wired before the proxy
+	// goroutines start, which publishes the tap safely.
+	names := make([]string, len(cfg.Profiles))
+	for i, p := range cfg.Profiles {
+		names[i] = p.Name
+	}
+	w.Pipeline = pipeline.New()
+	w.Suite = analysis.NewSuite(w.Hostlist, names)
+	w.Suite.Register(w.Pipeline)
+	w.DB.SetTap(w.Pipeline)
+	if err := w.DB.SetRetention(cfg.Retain); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// The proxy container runs under its own UID: its upstream dials are
 	// not re-diverted by the per-browser rules.

@@ -16,10 +16,9 @@ import (
 	"encoding/hex"
 	"net/url"
 	"regexp"
-	"runtime"
+	"slices"
 	"sort"
 	"strings"
-	"sync"
 
 	"panoptes/internal/capture"
 )
@@ -132,21 +131,9 @@ func haystack(f *capture.Flow) string {
 	return sb.String()
 }
 
-// searchFlow looks for value inside a flow under the encodings.
-func searchFlow(f *capture.Flow, value string, encs EncodingSet) (Encoding, bool) {
-	hay := haystack(f)
-	// Deterministic encoding order: plain first, digests last.
-	order := []Encoding{EncPlain, EncEscaped, EncBase64, EncBase64URL, EncHex, EncMD5, EncSHA1, EncSHA256}
-	reps := representations(value, encs)
-	for _, enc := range order {
-		for _, rep := range reps[enc] {
-			if rep != "" && strings.Contains(hay, rep) {
-				return enc, true
-			}
-		}
-	}
-	return "", false
-}
+// encodingOrder is the deterministic search order: plain first,
+// digests last, so the cheapest positive encoding wins ties.
+var encodingOrder = []Encoding{EncPlain, EncEscaped, EncBase64, EncBase64URL, EncHex, EncMD5, EncSHA1, EncSHA256}
 
 // Detector finds history leaks in a native-flow store.
 type Detector struct {
@@ -156,82 +143,22 @@ type Detector struct {
 // NewDetector builds a detector with the full encoding set.
 func NewDetector() *Detector { return &Detector{Encodings: AllEncodings()} }
 
-// Scan inspects every native flow that occurred during a visit and
-// reports leaks of that visit's URL or host to any destination other
-// than the visited site itself.
+// Scan inspects every flow that occurred during a visit and reports
+// leaks of that visit's URL or host to any destination other than the
+// visited site itself.
 //
-// The scan — digest and Base64 computation per candidate flow is the
-// analysis pipeline's hottest loop — fans out across the store's shards
-// with a bounded worker pool. Findings are returned in a canonical sort
-// order (browser, visit URL, destination, kind, encoding, flow ID), so
-// the output is a pure function of the flow set regardless of shard
-// placement or worker interleaving.
+// Scan is the batch drive mode of the incremental StreamScanner: it
+// replays the store's flows through a fresh scanner and finalizes, so
+// batch and streaming results come from one code path. Findings are
+// returned in a canonical sort order (browser, visit URL, destination,
+// kind, encoding, flow ID), so the output is a pure function of the
+// flow set regardless of insertion order.
 func (d *Detector) Scan(native *capture.Store) []Finding {
-	perShard := make([][]Finding, capture.NumShards)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > capture.NumShards {
-		workers = capture.NumShards
+	s := NewStreamScanner(d, "")
+	for _, f := range native.All() {
+		s.observe(f)
 	}
-	shardCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range shardCh {
-				perShard[i] = d.scanFlows(native.ShardSnapshot(i))
-			}
-		}()
-	}
-	for i := 0; i < capture.NumShards; i++ {
-		shardCh <- i
-	}
-	close(shardCh)
-	wg.Wait()
-
-	var out []Finding
-	for _, fs := range perShard {
-		out = append(out, fs...)
-	}
-	sortFindings(out)
-	return out
-}
-
-// scanFlows runs the per-flow leak search over one slice of flows.
-func (d *Detector) scanFlows(flows []*capture.Flow) []Finding {
-	var out []Finding
-	for _, f := range flows {
-		if f.VisitURL == "" {
-			continue
-		}
-		vu, err := url.Parse(f.VisitURL)
-		if err != nil {
-			continue
-		}
-		visitHost := vu.Hostname()
-		if f.Host == visitHost {
-			continue // talking to the visited site is not exfiltration
-		}
-
-		if enc, ok := searchFlow(f, f.VisitURL, d.Encodings); ok {
-			out = append(out, Finding{
-				Browser: f.Browser, Host: f.Host, Kind: KindFullURL,
-				Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
-			})
-			continue
-		}
-		// Domain-only: the visited hostname appears but the full URL does
-		// not. Require a host of at least two labels to avoid noise.
-		if strings.Contains(visitHost, ".") {
-			if enc, ok := searchFlow(f, visitHost, d.Encodings); ok {
-				out = append(out, Finding{
-					Browser: f.Browser, Host: f.Host, Kind: KindDomainOnly,
-					Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
-				})
-			}
-		}
-	}
-	return out
+	return s.Findings()
 }
 
 // sortFindings puts findings in their canonical order: stable, human-
@@ -312,34 +239,59 @@ func Summarise(findings []Finding) []Summary {
 // identifier miner.
 var idFieldPat = regexp.MustCompile(`"([A-Za-z0-9_.-]+)"\s*:\s*"([0-9a-fA-F-]{16,})"`)
 
-// PersistentIDs extracts candidate persistent identifiers (long
-// hex/uuid-like values) per browser and host — from query parameters and
-// from JSON request bodies (Opera's operaId travels in a POST body) —
-// for the track-across-sessions analysis.
-func PersistentIDs(native *capture.Store) map[string]map[string][]string {
-	out := map[string]map[string][]string{}
-	record := func(f *capture.Flow, k, v string) {
-		if !looksLikeIDKey(k) || !looksLikeID(v) {
-			return
+// IDHit is one identifier-looking key/value pair mined from a flow.
+type IDHit struct {
+	Key   string
+	Value string
+}
+
+// ExtractIDs mines a single flow for candidate persistent identifiers
+// (long hex/uuid-like values): query parameters first (sorted by key
+// for determinism), then JSON body fields in document order. The
+// incremental trackable-ID analyzer and PersistentIDs share this as
+// their per-flow step.
+func ExtractIDs(f *capture.Flow) []IDHit {
+	var out []IDHit
+	if vals, err := url.ParseQuery(f.RawQuery); err == nil {
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
 		}
-		if out[f.Browser] == nil {
-			out[f.Browser] = map[string][]string{}
-		}
-		key := f.Host + "?" + k
-		if !contains(out[f.Browser][key], v) {
-			out[f.Browser][key] = append(out[f.Browser][key], v)
-		}
-	}
-	for _, f := range native.All() {
-		if vals, err := url.ParseQuery(f.RawQuery); err == nil {
-			for k, vs := range vals {
-				for _, v := range vs {
-					record(f, k, v)
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !looksLikeIDKey(k) {
+				continue
+			}
+			for _, v := range vals[k] {
+				if looksLikeID(v) {
+					out = append(out, IDHit{Key: k, Value: v})
 				}
 			}
 		}
-		for _, m := range idFieldPat.FindAllStringSubmatch(string(f.Body), -1) {
-			record(f, m[1], m[2])
+	}
+	for _, m := range idFieldPat.FindAllStringSubmatch(string(f.Body), -1) {
+		if looksLikeIDKey(m[1]) && looksLikeID(m[2]) {
+			out = append(out, IDHit{Key: m[1], Value: m[2]})
+		}
+	}
+	return out
+}
+
+// PersistentIDs extracts candidate persistent identifiers per browser
+// and host — from query parameters and from JSON request bodies
+// (Opera's operaId travels in a POST body) — for the
+// track-across-sessions analysis. Values keep first-seen order.
+func PersistentIDs(native *capture.Store) map[string]map[string][]string {
+	out := map[string]map[string][]string{}
+	for _, f := range native.All() {
+		for _, hit := range ExtractIDs(f) {
+			if out[f.Browser] == nil {
+				out[f.Browser] = map[string][]string{}
+			}
+			key := f.Host + "?" + hit.Key
+			if !slices.Contains(out[f.Browser][key], hit.Value) {
+				out[f.Browser][key] = append(out[f.Browser][key], hit.Value)
+			}
 		}
 	}
 	return out
@@ -365,13 +317,4 @@ func looksLikeID(v string) bool {
 		}
 	}
 	return true
-}
-
-func contains(ss []string, s string) bool {
-	for _, x := range ss {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }

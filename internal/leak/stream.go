@@ -1,0 +1,173 @@
+package leak
+
+import (
+	"net/url"
+	"strings"
+	"sync"
+
+	"panoptes/internal/capture"
+	"panoptes/internal/pipeline"
+)
+
+// scanEntry is one flow's scan result in arrival order. Retraction
+// marks it dead instead of splicing, so undo closures stay O(1).
+type scanEntry struct {
+	finding Finding
+	live    bool
+}
+
+// StreamScanner is the incremental form of the history-leak scan: each
+// committed flow is searched as it arrives and the finding (at most
+// one per flow) folded into the running set. Representations of a
+// visit URL or host — the digest and Base64 computation that makes the
+// scan the analysis plane's hottest loop — are cached per value, since
+// every flow of the same visit searches for the same strings.
+// Implements pipeline.Analyzer (plus Seal and Reset).
+type StreamScanner struct {
+	det    *Detector
+	origin capture.Origin // filter for tap-driven use; "" scans every flow
+
+	repMu    sync.RWMutex
+	repCache map[string]map[Encoding][]string
+
+	mu      sync.Mutex
+	j       pipeline.Journal
+	entries []*scanEntry
+}
+
+// NewStreamScanner builds a scanner over d's encoding set. A non-empty
+// origin restricts tap-driven Observe calls to flows of that origin
+// (batch replay via Detector.Scan always scans every flow).
+func NewStreamScanner(d *Detector, origin capture.Origin) *StreamScanner {
+	return &StreamScanner{det: d, origin: origin, repCache: make(map[string]map[Encoding][]string)}
+}
+
+// Observe scans one committed flow from the tap stream.
+func (s *StreamScanner) Observe(f *capture.Flow) {
+	if s.origin != "" && f.Origin != s.origin {
+		return
+	}
+	s.observe(f)
+}
+
+// observe is the origin-agnostic per-flow step shared with batch replay.
+func (s *StreamScanner) observe(f *capture.Flow) {
+	fnd, ok := s.scanOne(f)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &scanEntry{finding: fnd, live: true}
+	s.entries = append(s.entries, e)
+	s.j.Note(f.Attempt, func() { e.live = false })
+}
+
+// scanOne runs the per-flow leak search (the hashing happens outside
+// the state lock).
+func (s *StreamScanner) scanOne(f *capture.Flow) (Finding, bool) {
+	if f.VisitURL == "" {
+		return Finding{}, false
+	}
+	vu, err := url.Parse(f.VisitURL)
+	if err != nil {
+		return Finding{}, false
+	}
+	visitHost := vu.Hostname()
+	if f.Host == visitHost {
+		return Finding{}, false // talking to the visited site is not exfiltration
+	}
+
+	hay := haystack(f)
+	if enc, ok := s.search(hay, f.VisitURL); ok {
+		return Finding{
+			Browser: f.Browser, Host: f.Host, Kind: KindFullURL,
+			Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
+		}, true
+	}
+	// Domain-only: the visited hostname appears but the full URL does
+	// not. Require a host of at least two labels to avoid noise.
+	if strings.Contains(visitHost, ".") {
+		if enc, ok := s.search(hay, visitHost); ok {
+			return Finding{
+				Browser: f.Browser, Host: f.Host, Kind: KindDomainOnly,
+				Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
+			}, true
+		}
+	}
+	return Finding{}, false
+}
+
+// search looks for value inside the haystack under the detector's
+// encodings, cheapest encoding first.
+func (s *StreamScanner) search(hay, value string) (Encoding, bool) {
+	reps := s.reps(value)
+	for _, enc := range encodingOrder {
+		for _, rep := range reps[enc] {
+			if rep != "" && strings.Contains(hay, rep) {
+				return enc, true
+			}
+		}
+	}
+	return "", false
+}
+
+// reps returns the cached searchable forms of value, computing and
+// publishing them on first use.
+func (s *StreamScanner) reps(value string) map[Encoding][]string {
+	s.repMu.RLock()
+	r, ok := s.repCache[value]
+	s.repMu.RUnlock()
+	if ok {
+		return r
+	}
+	r = representations(value, s.det.Encodings)
+	s.repMu.Lock()
+	if prev, ok := s.repCache[value]; ok {
+		r = prev
+	} else {
+		s.repCache[value] = r
+	}
+	s.repMu.Unlock()
+	return r
+}
+
+// Retract undoes the attempt's findings.
+func (s *StreamScanner) Retract(attempt int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.j.Retract(attempt)
+}
+
+// Seal discards the attempt's undo log.
+func (s *StreamScanner) Seal(attempt int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.j.Seal(attempt)
+}
+
+// Reset drops all findings and undo state (the representation cache
+// survives: it is a pure function of the detector's encoding set).
+func (s *StreamScanner) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = nil
+	s.j.Reset()
+}
+
+// Findings returns the live findings in canonical sort order.
+func (s *StreamScanner) Findings() []Finding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Finding
+	for _, e := range s.entries {
+		if e.live {
+			out = append(out, e.finding)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// Finalize implements pipeline.Analyzer.
+func (s *StreamScanner) Finalize() any { return s.Findings() }

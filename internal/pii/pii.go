@@ -159,11 +159,17 @@ func ScanFlow(f *capture.Flow) []Finding {
 	for _, m := range jsonFieldPat.FindAllStringSubmatch(body, -1) {
 		emit(m[1], strings.Trim(m[2], `"`))
 	}
-	// Form-encoded bodies.
+	// Form-encoded bodies. Keys are sorted, as for the query section,
+	// so a flow's findings come out in a deterministic order.
 	if strings.Contains(f.HeaderGet("Content-Type"), "x-www-form-urlencoded") {
 		if vals, err := url.ParseQuery(body); err == nil {
-			for k, vs := range vals {
-				for _, v := range vs {
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				for _, v := range vals[k] {
 					emit(k, v)
 				}
 			}
@@ -207,26 +213,14 @@ type Matrix map[string]map[Attribute]bool
 
 // BuildMatrix scans a native-flow store and assembles the leak matrix
 // for the given browser names (rows appear even when nothing leaked).
+// It is the batch drive mode of MatrixAnalyzer: the store is replayed
+// through a fresh analyzer and finalized.
 func BuildMatrix(native *capture.Store, browsers []string) (Matrix, []Finding) {
-	m := make(Matrix, len(browsers))
-	for _, b := range browsers {
-		m[b] = make(map[Attribute]bool)
-	}
-	var all []Finding
+	a := NewMatrixAnalyzer(browsers)
 	for _, f := range native.All() {
-		if f.Browser == "" {
-			continue
-		}
-		if _, ok := m[f.Browser]; !ok {
-			continue
-		}
-		fs := ScanFlow(f)
-		for _, find := range fs {
-			m[f.Browser][find.Attribute] = true
-		}
-		all = append(all, fs...)
+		a.observe(f)
 	}
-	return m, all
+	return a.Matrix(), a.Findings()
 }
 
 // Leaked reports a cell of the matrix.

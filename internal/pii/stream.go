@@ -1,0 +1,147 @@
+package pii
+
+import (
+	"sort"
+	"sync"
+
+	"panoptes/internal/capture"
+	"panoptes/internal/pipeline"
+)
+
+// flowEntry is one flow's findings in arrival order. Retraction nils
+// the findings and decrements the attribute refcounts.
+type flowEntry struct {
+	flowID int64
+	fs     []Finding
+}
+
+// MatrixAnalyzer is the incremental form of BuildMatrix: each
+// committed native flow is scanned as it arrives and its findings
+// folded into per-browser attribute refcounts, so the Table 2 matrix
+// is available at any point of the campaign and survives attempt
+// retraction. Implements pipeline.Analyzer (plus Seal and Reset).
+type MatrixAnalyzer struct {
+	browsers []string
+
+	mu      sync.Mutex
+	j       pipeline.Journal
+	rows    map[string]bool
+	counts  map[string]map[Attribute]int
+	entries []*flowEntry
+}
+
+// NewMatrixAnalyzer builds an analyzer producing rows for the given
+// browser names (flows of other browsers are ignored, as in
+// BuildMatrix).
+func NewMatrixAnalyzer(browsers []string) *MatrixAnalyzer {
+	a := &MatrixAnalyzer{browsers: browsers}
+	a.reset()
+	return a
+}
+
+func (a *MatrixAnalyzer) reset() {
+	a.rows = make(map[string]bool, len(a.browsers))
+	a.counts = make(map[string]map[Attribute]int, len(a.browsers))
+	for _, b := range a.browsers {
+		a.rows[b] = true
+		a.counts[b] = make(map[Attribute]int)
+	}
+	a.entries = nil
+	a.j.Reset()
+}
+
+// Observe scans one committed flow from the tap stream. Only native
+// traffic contributes to Table 2.
+func (a *MatrixAnalyzer) Observe(f *capture.Flow) {
+	if f.Origin != capture.OriginNative {
+		return
+	}
+	a.observe(f)
+}
+
+// observe is the origin-agnostic per-flow step shared with batch replay.
+func (a *MatrixAnalyzer) observe(f *capture.Flow) {
+	if f.Browser == "" || !a.rows[f.Browser] {
+		return
+	}
+	fs := ScanFlow(f) // regex work happens outside the state lock
+	if len(fs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	browser := f.Browser
+	for _, find := range fs {
+		a.counts[browser][find.Attribute]++
+	}
+	e := &flowEntry{flowID: f.ID, fs: fs}
+	a.entries = append(a.entries, e)
+	a.j.Note(f.Attempt, func() {
+		for _, find := range e.fs {
+			a.counts[browser][find.Attribute]--
+		}
+		e.fs = nil
+	})
+}
+
+// Retract undoes the attempt's findings.
+func (a *MatrixAnalyzer) Retract(attempt int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.j.Retract(attempt)
+}
+
+// Seal discards the attempt's undo log.
+func (a *MatrixAnalyzer) Seal(attempt int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.j.Seal(attempt)
+}
+
+// Reset drops all accumulated state.
+func (a *MatrixAnalyzer) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reset()
+}
+
+// Matrix assembles the current Table 2 (rows appear even when nothing
+// leaked).
+func (a *MatrixAnalyzer) Matrix() Matrix {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := make(Matrix, len(a.browsers))
+	for _, b := range a.browsers {
+		row := make(map[Attribute]bool)
+		for attr, n := range a.counts[b] {
+			if n > 0 {
+				row[attr] = true
+			}
+		}
+		m[b] = row
+	}
+	return m
+}
+
+// Findings returns the live findings sorted by flow ID (stable, so
+// flows without IDs keep arrival order and findings within a flow keep
+// ScanFlow order).
+func (a *MatrixAnalyzer) Findings() []Finding {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	live := make([]*flowEntry, 0, len(a.entries))
+	for _, e := range a.entries {
+		if e.fs != nil {
+			live = append(live, e)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].flowID < live[j].flowID })
+	var out []Finding
+	for _, e := range live {
+		out = append(out, e.fs...)
+	}
+	return out
+}
+
+// Finalize implements pipeline.Analyzer.
+func (a *MatrixAnalyzer) Finalize() any { return a.Matrix() }

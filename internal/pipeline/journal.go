@@ -1,0 +1,52 @@
+package pipeline
+
+// Journal is the per-attempt undo log analyzers use to implement
+// Retract. Each Observe of an attempt-tagged flow notes one or more
+// undo closures; Retract runs them in reverse order and Seal discards
+// them once the attempt commits, so memory is bounded by the number of
+// in-flight attempts. Attempt 0 means "committed outside any attempt
+// window" (settle traffic, checkpoint preloads, idle sessions) and is
+// never journalled. A Journal is not safe for concurrent use on its
+// own — callers guard it with the analyzer's state mutex, which they
+// already hold to apply the observation itself.
+type Journal struct {
+	undos map[int64][]func()
+}
+
+// Note records an undo closure for the attempt. No-op for attempt 0.
+func (j *Journal) Note(attempt int64, undo func()) {
+	if attempt == 0 {
+		return
+	}
+	if j.undos == nil {
+		j.undos = make(map[int64][]func())
+	}
+	j.undos[attempt] = append(j.undos[attempt], undo)
+}
+
+// Retract runs the attempt's undo closures in reverse order and
+// reports how many were run.
+func (j *Journal) Retract(attempt int64) int {
+	undos := j.undos[attempt]
+	for i := len(undos) - 1; i >= 0; i-- {
+		undos[i]()
+	}
+	delete(j.undos, attempt)
+	return len(undos)
+}
+
+// Seal discards the attempt's undo log: the attempt committed and can
+// no longer be retracted.
+func (j *Journal) Seal(attempt int64) {
+	delete(j.undos, attempt)
+}
+
+// Reset drops all undo state.
+func (j *Journal) Reset() {
+	j.undos = nil
+}
+
+// Open reports how many attempts currently hold undo state.
+func (j *Journal) Open() int {
+	return len(j.undos)
+}

@@ -1,0 +1,177 @@
+// Package pipeline is the streaming analysis plane of the measurement
+// stack. A Pipeline is registered as the commit tap on the capture
+// databases: every flow committed by the proxy is fanned out, in
+// commit order, to a set of registered Analyzers which fold it into
+// incremental state. The campaign runner's attempt quarantine (PR 3)
+// is wired into Retract, so a faulted attempt's observations are
+// undone before the attempt is retried and never pollute the
+// incremental results. An analyzer's Finalize output is required to be
+// byte-identical to the corresponding batch pass over the committed
+// store — the batch functions in internal/analysis, internal/leak and
+// internal/pii are thin wrappers that replay a store through the same
+// analyzers (one code path, two drive modes).
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"panoptes/internal/capture"
+	"panoptes/internal/obs"
+)
+
+// Analyzer is an incremental analysis folded over the committed flow
+// stream. Observe is called once per committed flow, from the
+// committing goroutine (so it must be safe for concurrent use).
+// Retract undoes every observation tagged with the given attempt id —
+// the campaign runner calls it when an attempt faults and its flows
+// are quarantined. Finalize returns the analysis result; it must be a
+// pure function of the multiset of observed-and-not-retracted flows.
+type Analyzer interface {
+	Observe(f *capture.Flow)
+	Retract(attempt int64)
+	Finalize() any
+}
+
+// Sealer is optionally implemented by analyzers that keep per-attempt
+// undo state (see Journal). Seal tells the analyzer the attempt
+// committed successfully and its undo log can be discarded.
+type Sealer interface {
+	Seal(attempt int64)
+}
+
+// Resetter is optionally implemented by analyzers that can drop all
+// accumulated state, mirroring capture.DB.Reset.
+type Resetter interface {
+	Reset()
+}
+
+func init() {
+	obs.Default.Help("pipeline_observed_total", "Flows observed by each streaming analyzer.")
+	obs.Default.Help("pipeline_observe_seconds", "Per-flow observe latency of each streaming analyzer.")
+	obs.Default.Help("pipeline_retractions_total", "Attempt retractions processed by each streaming analyzer.")
+	obs.Default.Help("pipeline_analyzers", "Analyzers currently registered on the streaming pipeline.")
+}
+
+// observeBuckets spans 1µs .. ~262ms, the plausible range for a
+// per-flow incremental fold.
+var observeBuckets = obs.ExponentialBuckets(1e-6, 4, 10)
+
+type entry struct {
+	name      string
+	a         Analyzer
+	observed  *obs.Counter
+	retracted *obs.Counter
+	latency   *obs.Histogram
+}
+
+// Pipeline fans committed flows out to registered analyzers in
+// registration order. It implements capture.Tap.
+type Pipeline struct {
+	mu      sync.RWMutex
+	entries []*entry
+	gauge   *obs.Gauge
+}
+
+// New returns an empty pipeline.
+func New() *Pipeline {
+	return &Pipeline{gauge: obs.Default.Gauge("pipeline_analyzers")}
+}
+
+// Register appends an analyzer under the given name. Names are used
+// for metric labels, Unregister and Results; registering the same name
+// twice keeps both (Unregister removes all).
+func (p *Pipeline) Register(name string, a Analyzer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = append(p.entries, &entry{
+		name:      name,
+		a:         a,
+		observed:  obs.Default.Counter("pipeline_observed_total", "analyzer", name),
+		retracted: obs.Default.Counter("pipeline_retractions_total", "analyzer", name),
+		latency:   obs.Default.Histogram("pipeline_observe_seconds", observeBuckets, "analyzer", name),
+	})
+	p.gauge.Set(float64(len(p.entries)))
+}
+
+// Unregister removes every analyzer registered under name.
+func (p *Pipeline) Unregister(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.entries[:0]
+	for _, e := range p.entries {
+		if e.name != name {
+			kept = append(kept, e)
+		}
+	}
+	p.entries = kept
+	p.gauge.Set(float64(len(p.entries)))
+}
+
+// Observe feeds one committed flow to every analyzer in registration
+// order. Called by the capture store from the committing goroutine.
+func (p *Pipeline) Observe(f *capture.Flow) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		start := time.Now()
+		e.a.Observe(f)
+		e.latency.Observe(time.Since(start).Seconds())
+		e.observed.Inc()
+	}
+}
+
+// Retract undoes every analyzer observation tagged with the attempt.
+func (p *Pipeline) Retract(attempt int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		e.a.Retract(attempt)
+		e.retracted.Inc()
+	}
+}
+
+// Seal marks the attempt committed on every analyzer that keeps
+// per-attempt undo state.
+func (p *Pipeline) Seal(attempt int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		if s, ok := e.a.(Sealer); ok {
+			s.Seal(attempt)
+		}
+	}
+}
+
+// Reset drops accumulated state on every analyzer that supports it.
+func (p *Pipeline) Reset() {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		if r, ok := e.a.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// Results finalizes every registered analyzer, keyed by name.
+func (p *Pipeline) Results() map[string]any {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]any, len(p.entries))
+	for _, e := range p.entries {
+		out[e.name] = e.a.Finalize()
+	}
+	return out
+}
+
+// Names lists registered analyzers in registration order.
+func (p *Pipeline) Names() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, len(p.entries))
+	for i, e := range p.entries {
+		out[i] = e.name
+	}
+	return out
+}

@@ -87,6 +87,58 @@ func CampaignObsSummary(w io.Writer, r *obs.Registry) {
 		r.Counter("netsim_dial_errors_total").Value())
 }
 
+// PipelineObsSummary renders the streaming-analysis view: one row per
+// registered analyzer with observe counts, retraction counts and
+// per-flow observe-latency percentiles, plus the retention picture —
+// flows still resident in each capture database versus flows spilled
+// to the JSONL sink.
+func PipelineObsSummary(w io.Writer, r *obs.Registry) {
+	series := r.Series("pipeline_observed_total")
+	if len(series) == 0 {
+		return
+	}
+	names := make([]string, 0, len(series))
+	for _, s := range series {
+		if a := s.Labels["analyzer"]; a != "" {
+			names = append(names, a)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "Streaming pipeline summary")
+	fmt.Fprintf(w, "  %-20s %10s %10s %10s %10s\n", "analyzer", "observed", "retracted", "p50", "p95")
+	for _, a := range names {
+		h := r.Histogram("pipeline_observe_seconds", nil, "analyzer", a)
+		p50, p95 := "-", "-"
+		if h.Count() > 0 {
+			p50, p95 = formatLatency(h.Quantile(0.50)), formatLatency(h.Quantile(0.95))
+		}
+		fmt.Fprintf(w, "  %-20s %10d %10d %10s %10s\n", a,
+			r.Counter("pipeline_observed_total", "analyzer", a).Value(),
+			r.Counter("pipeline_retractions_total", "analyzer", a).Value(),
+			p50, p95)
+	}
+	fmt.Fprintf(w, "  resident flows         %d engine / %d native\n",
+		int64(r.Gauge("capture_store_flows", "db", "engine").Value()),
+		int64(r.Gauge("capture_store_flows", "db", "native").Value()))
+	fmt.Fprintf(w, "  spilled flows          %d engine / %d native\n",
+		r.Counter("capture_spilled_total", "db", "engine").Value(),
+		r.Counter("capture_spilled_total", "db", "native").Value())
+}
+
+// formatLatency renders observe latencies, keeping sub-millisecond
+// values legible (formatSeconds rounds to a whole millisecond, which
+// would flatten per-flow analyzer costs to 0s).
+func formatLatency(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	d := time.Duration(v * float64(time.Second))
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}
+
 // sumLabel adds every series of family whose label set includes k=v.
 func sumLabel(r *obs.Registry, name, k, v string) float64 {
 	var total float64

@@ -30,8 +30,8 @@ go test ./...
 echo "==> go test -race (obs, mitm, capture)"
 go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
 
-echo "==> go test -race (core, leak: the concurrent campaign scheduler)"
-go test -race ./internal/core/... ./internal/leak/...
+echo "==> go test -race (core, leak, pipeline: concurrent scheduler + streaming analyzers)"
+go test -race ./internal/core/... ./internal/leak/... ./internal/pipeline/...
 
 echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
 # A seeded chaos campaign must complete with every browser intact and
