@@ -1,0 +1,112 @@
+// Package bytepool provides size-classed, sync.Pool-backed byte
+// buffers for the capture→analysis hot path. The MITM proxy allocated
+// a fresh buffer for every request and response body it read
+// (io.ReadAll per exchange), and the leak scanner built a fresh
+// haystack string per flow; both now borrow a pooled bytes.Buffer
+// sized by a hint and return it after use. Buffers are binned into
+// geometric size classes so a burst of large bodies does not leave the
+// small-body pool holding megabyte slabs, and buffers that grew far
+// past the largest class are dropped rather than pinned.
+//
+// Pool pressure is observable: every Get is counted in the
+// bytepool_get_total obs family, labelled by pool name and
+// hit (reused a pooled buffer) vs miss (allocated fresh).
+package bytepool
+
+import (
+	"bytes"
+	"sync"
+
+	"panoptes/internal/obs"
+)
+
+func init() {
+	obs.Default.Help("bytepool_get_total", "Pooled-buffer checkouts by pool and result (hit = reused, miss = freshly allocated).")
+}
+
+// dropAbove multiplies the largest class size: a buffer that grew past
+// it is released to the GC on Put instead of re-pooled.
+const dropAbove = 4
+
+// Pool is a set of size-classed bytes.Buffer pools. The zero value is
+// not usable; call New. All methods are safe for concurrent use.
+type Pool struct {
+	sizes []int // ascending class capacities
+	pools []sync.Pool
+	hit   *obs.Counter
+	miss  *obs.Counter
+}
+
+// New builds a pool named for its obs series with the given ascending
+// size classes (bytes). A Get hint selects the smallest class that
+// fits; Put re-bins by actual capacity.
+func New(name string, sizes ...int) *Pool {
+	if len(sizes) == 0 {
+		panic("bytepool: New needs at least one size class")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			panic("bytepool: size classes must be ascending")
+		}
+	}
+	return &Pool{
+		sizes: sizes,
+		pools: make([]sync.Pool, len(sizes)),
+		hit:   obs.Default.Counter("bytepool_get_total", "pool", name, "result", "hit"),
+		miss:  obs.Default.Counter("bytepool_get_total", "pool", name, "result", "miss"),
+	}
+}
+
+// class returns the index of the smallest class with capacity >= n,
+// or the largest class when n exceeds them all.
+func (p *Pool) class(n int) int {
+	for i, s := range p.sizes {
+		if n <= s {
+			return i
+		}
+	}
+	return len(p.sizes) - 1
+}
+
+// Get borrows an empty buffer with at least hint bytes of capacity
+// pre-reserved (hint <= 0 selects the smallest class). The buffer may
+// still grow past its class; Put re-bins it.
+func (p *Pool) Get(hint int) *bytes.Buffer {
+	if hint < 0 {
+		hint = 0
+	}
+	c := p.class(hint)
+	if v := p.pools[c].Get(); v != nil {
+		p.hit.Inc()
+		return v.(*bytes.Buffer)
+	}
+	p.miss.Inc()
+	buf := &bytes.Buffer{}
+	buf.Grow(p.sizes[c])
+	return buf
+}
+
+// Put resets and returns a buffer to the class matching its grown
+// capacity. Buffers beyond dropAbove× the largest class are dropped so
+// one pathological body cannot pin a slab for the process lifetime.
+// Put(nil) is a no-op.
+func (p *Pool) Put(buf *bytes.Buffer) {
+	if buf == nil {
+		return
+	}
+	c := buf.Cap()
+	if c > dropAbove*p.sizes[len(p.sizes)-1] {
+		return
+	}
+	buf.Reset()
+	// Largest class whose size <= capacity, so a Get(hint) from that
+	// class always receives at least the capacity it asked for.
+	bin := 0
+	for i := len(p.sizes) - 1; i >= 0; i-- {
+		if c >= p.sizes[i] {
+			bin = i
+			break
+		}
+	}
+	p.pools[bin].Put(buf)
+}

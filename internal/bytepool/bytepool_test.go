@@ -1,0 +1,103 @@
+package bytepool
+
+import (
+	"testing"
+
+	"panoptes/internal/obs"
+)
+
+func TestGetHintReservesCapacity(t *testing.T) {
+	p := New("test-cap", 64, 1024, 65536)
+	for _, hint := range []int{0, 1, 64, 65, 1024, 4096, 1 << 20} {
+		buf := p.Get(hint)
+		want := hint
+		if want > 65536 {
+			want = 65536 // beyond the largest class only the class is promised
+		}
+		if buf.Cap() < want {
+			t.Fatalf("Get(%d) returned cap %d", hint, buf.Cap())
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("Get(%d) returned non-empty buffer", hint)
+		}
+		p.Put(buf)
+	}
+}
+
+func TestPutRebinsByCapacity(t *testing.T) {
+	p := New("test-rebin", 64, 1024)
+	// Under -race, sync.Pool drops a fraction of Puts on purpose, so
+	// retry: a grown buffer must eventually come back for large hints,
+	// not for small ones that would then over-deliver.
+	for attempt := 0; attempt < 50; attempt++ {
+		buf := p.Get(10)
+		buf.Grow(2048) // outgrow the small class
+		p.Put(buf)
+		big := p.Get(2000)
+		ok := big.Cap() >= 2000
+		p.Put(big)
+		if ok {
+			return
+		}
+	}
+	t.Fatal("rebinned buffer never came back from the large class")
+}
+
+func TestOversizedBuffersDropped(t *testing.T) {
+	p := New("test-drop", 64)
+	buf := p.Get(0)
+	buf.Grow(64 * dropAbove * 2)
+	p.Put(buf)
+	got := p.Get(0)
+	if got == buf {
+		t.Fatal("oversized buffer was re-pooled")
+	}
+	p.Put(got)
+	p.Put(nil) // no-op
+}
+
+func TestHitMissCounters(t *testing.T) {
+	p := New("test-counters", 64)
+	base := counter("test-counters", "hit") + counter("test-counters", "miss")
+	gets := 0
+	for attempt := 0; attempt < 50 && counter("test-counters", "hit") == 0; attempt++ {
+		b := p.Get(0)
+		p.Put(b)
+		p.Get(0) // sync.Pool may drop the Put under -race; retry until a hit lands
+		gets += 2
+	}
+	if counter("test-counters", "hit") == 0 {
+		t.Fatal("put-then-get never counted as a hit")
+	}
+	if got := counter("test-counters", "hit") + counter("test-counters", "miss") - base; got != float64(gets) {
+		t.Fatalf("counted %.0f gets, want %d", got, gets)
+	}
+}
+
+func counter(pool, result string) float64 {
+	var total float64
+	for _, s := range obs.Default.Series("bytepool_get_total") {
+		if s.Labels["pool"] == pool && s.Labels["result"] == result {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New("test-conc", 64, 4096)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				buf := p.Get(g * 512)
+				buf.WriteString("payload")
+				p.Put(buf)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

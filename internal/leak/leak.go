@@ -9,6 +9,7 @@
 package leak
 
 import (
+	"bytes"
 	"crypto/md5"
 	"crypto/sha1"
 	"crypto/sha256"
@@ -19,8 +20,11 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 
+	"panoptes/internal/bytepool"
 	"panoptes/internal/capture"
+	"panoptes/internal/match"
 )
 
 // Kind classifies what was leaked.
@@ -115,33 +119,148 @@ func representations(value string, encs EncodingSet) map[Encoding][]string {
 	return out
 }
 
-// haystack renders the searchable text of a flow: path, query
-// (raw and unescaped) and body.
-func haystack(f *capture.Flow) string {
-	var sb strings.Builder
-	sb.WriteString(f.Path)
-	sb.WriteByte('\n')
-	sb.WriteString(f.RawQuery)
-	sb.WriteByte('\n')
-	if unescaped, err := url.QueryUnescape(f.RawQuery); err == nil {
-		sb.WriteString(unescaped)
-		sb.WriteByte('\n')
+// haystackPool recycles the per-flow search buffers. Two classes cover
+// the population: most native flows are a short path + query, the rest
+// carry a body capped at capture.MaxBodyCapture plus query expansion.
+var haystackPool = bytepool.New("leak_haystack", 4<<10, 64<<10)
+
+// writeHaystack renders the searchable text of a flow — path, query
+// (raw and unescaped) and body, newline-separated — into a reusable
+// buffer. The unescaped query is appended only when unescaping actually
+// changed it: needles never contain '\n' (url.Parse rejects control
+// characters and every non-plain representation uses a newline-free
+// alphabet), so a match inside a duplicate segment would already match
+// the raw segment, and skipping the copy cannot change findings.
+func writeHaystack(buf *bytes.Buffer, f *capture.Flow) {
+	buf.WriteString(f.Path)
+	buf.WriteByte('\n')
+	buf.WriteString(f.RawQuery)
+	buf.WriteByte('\n')
+	if unescaped, err := url.QueryUnescape(f.RawQuery); err == nil && unescaped != f.RawQuery {
+		buf.WriteString(unescaped)
+		buf.WriteByte('\n')
 	}
-	sb.Write(f.Body)
-	return sb.String()
+	buf.Write(f.Body)
 }
 
 // encodingOrder is the deterministic search order: plain first,
 // digests last, so the cheapest positive encoding wins ties.
 var encodingOrder = []Encoding{EncPlain, EncEscaped, EncBase64, EncBase64URL, EncHex, EncMD5, EncSHA1, EncSHA256}
 
-// Detector finds history leaks in a native-flow store.
+// needle is the interned, engine-resident form of one searched value:
+// its pattern IDs in the shared automaton, ordered by encodingOrder, so
+// the first ID a scan reports maps to the same encoding the old
+// first-Contains-wins loop would have picked.
+type needle struct {
+	pids []int
+	encs []Encoding
+}
+
+// match resolves a scanned flow against the needle: the first matched
+// pattern ID in priority order names the winning encoding.
+func (n *needle) match(ms *match.MatchSet) (Encoding, bool) {
+	for i, id := range n.pids {
+		if ms.Has(id) {
+			return n.encs[i], true
+		}
+	}
+	return "", false
+}
+
+// visitNeedles caches everything derivable from one VisitURL: the
+// parse outcome, the hostname, and the interned needles for the full
+// URL and (when the host has at least two labels) the bare domain.
+type visitNeedles struct {
+	ok   bool
+	host string
+	full *needle
+	dom  *needle
+}
+
+// Detector finds history leaks in a native-flow store. Beyond the
+// encoding-set knob it owns the shared match engine: every value ever
+// searched (visit URLs and hostnames under all their encodings) is
+// interned once into a single Aho-Corasick pattern set, so scanning a
+// flow is one automaton pass regardless of how many visits are active.
 type Detector struct {
 	Encodings EncodingSet
+
+	once    sync.Once
+	pats    *match.PatternSet
+	mu      sync.Mutex
+	needles map[string]*needle
+	visits  map[string]*visitNeedles
 }
 
 // NewDetector builds a detector with the full encoding set.
 func NewDetector() *Detector { return &Detector{Encodings: AllEncodings()} }
+
+// engine lazily initialises the interning state so struct-literal
+// detectors (common in tests and call sites that only set Encodings)
+// keep working.
+func (d *Detector) engine() *match.PatternSet {
+	d.once.Do(func() {
+		d.pats = match.NewPatternSet("leak")
+		d.needles = make(map[string]*needle)
+		d.visits = make(map[string]*visitNeedles)
+	})
+	return d.pats
+}
+
+// needleFor interns the searchable representations of a value — the
+// digest and Base64 computation that used to run per scanner now runs
+// once per distinct value per detector.
+func (d *Detector) needleFor(value string) *needle {
+	d.engine()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.needles[value]; ok {
+		return n
+	}
+	reps := representations(value, d.Encodings)
+	n := &needle{}
+	for _, enc := range encodingOrder {
+		for _, rep := range reps[enc] {
+			if id := d.pats.Add(rep); id >= 0 {
+				n.pids = append(n.pids, id)
+				n.encs = append(n.encs, enc)
+			}
+		}
+	}
+	d.needles[value] = n
+	return n
+}
+
+// visitFor returns the cached per-visit scan inputs, parsing and
+// interning on first sight of a VisitURL.
+func (d *Detector) visitFor(visitURL string) *visitNeedles {
+	d.engine()
+	d.mu.Lock()
+	v, ok := d.visits[visitURL]
+	d.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = &visitNeedles{}
+	if vu, err := url.Parse(visitURL); err == nil {
+		v.ok = true
+		v.host = vu.Hostname()
+		v.full = d.needleFor(visitURL)
+		// Domain-only detection requires a host of at least two labels
+		// to avoid noise, mirroring the original Contains(".") gate.
+		if strings.Contains(v.host, ".") {
+			v.dom = d.needleFor(v.host)
+		}
+	}
+	d.mu.Lock()
+	if prev, ok := d.visits[visitURL]; ok {
+		v = prev
+	} else {
+		d.visits[visitURL] = v
+	}
+	d.mu.Unlock()
+	return v
+}
 
 // Scan inspects every flow that occurred during a visit and reports
 // leaks of that visit's URL or host to any destination other than the
@@ -155,7 +274,15 @@ func NewDetector() *Detector { return &Detector{Encodings: AllEncodings()} }
 // flow set regardless of insertion order.
 func (d *Detector) Scan(native *capture.Store) []Finding {
 	s := NewStreamScanner(d, "")
-	for _, f := range native.All() {
+	flows := native.All()
+	// Prime every visit's needles before the first scan so the engine
+	// compiles once for the whole batch instead of once per new visit.
+	for _, f := range flows {
+		if f.VisitURL != "" {
+			d.visitFor(f.VisitURL)
+		}
+	}
+	for _, f := range flows {
 		s.observe(f)
 	}
 	return s.Findings()
@@ -269,9 +396,14 @@ func ExtractIDs(f *capture.Flow) []IDHit {
 			}
 		}
 	}
-	for _, m := range idFieldPat.FindAllStringSubmatch(string(f.Body), -1) {
-		if looksLikeIDKey(m[1]) && looksLikeID(m[2]) {
-			out = append(out, IDHit{Key: m[1], Value: m[2]})
+	// Match directly over the captured bytes — the old string(f.Body)
+	// conversion copied every body on every flow. A quote is required by
+	// the pattern, so bodies without one skip the regexp entirely.
+	if bytes.IndexByte(f.Body, '"') >= 0 {
+		for _, m := range idFieldPat.FindAllSubmatch(f.Body, -1) {
+			if looksLikeIDKey(string(m[1])) && looksLikeID(string(m[2])) {
+				out = append(out, IDHit{Key: string(m[1]), Value: string(m[2])})
+			}
 		}
 	}
 	return out

@@ -1,8 +1,6 @@
 package leak
 
 import (
-	"net/url"
-	"strings"
 	"sync"
 
 	"panoptes/internal/capture"
@@ -18,17 +16,15 @@ type scanEntry struct {
 
 // StreamScanner is the incremental form of the history-leak scan: each
 // committed flow is searched as it arrives and the finding (at most
-// one per flow) folded into the running set. Representations of a
-// visit URL or host — the digest and Base64 computation that makes the
-// scan the analysis plane's hottest loop — are cached per value, since
-// every flow of the same visit searches for the same strings.
-// Implements pipeline.Analyzer (plus Seal and Reset).
+// one per flow) folded into the running set. The search itself is a
+// single pass of the detector's shared Aho-Corasick engine over the
+// flow haystack — every active visit's representations are interned
+// into one automaton, so per-flow cost no longer grows with the number
+// of concurrent visits. Implements pipeline.Analyzer (plus Seal and
+// Reset).
 type StreamScanner struct {
 	det    *Detector
 	origin capture.Origin // filter for tap-driven use; "" scans every flow
-
-	repMu    sync.RWMutex
-	repCache map[string]map[Encoding][]string
 
 	mu      sync.Mutex
 	j       pipeline.Journal
@@ -39,7 +35,7 @@ type StreamScanner struct {
 // origin restricts tap-driven Observe calls to flows of that origin
 // (batch replay via Detector.Scan always scans every flow).
 func NewStreamScanner(d *Detector, origin capture.Origin) *StreamScanner {
-	return &StreamScanner{det: d, origin: origin, repCache: make(map[string]map[Encoding][]string)}
+	return &StreamScanner{det: d, origin: origin}
 }
 
 // Observe scans one committed flow from the tap stream.
@@ -63,32 +59,40 @@ func (s *StreamScanner) observe(f *capture.Flow) {
 	s.j.Note(f.Attempt, func() { e.live = false })
 }
 
-// scanOne runs the per-flow leak search (the hashing happens outside
-// the state lock).
+// scanOne runs the per-flow leak search (interning, automaton compile
+// and the scan itself all happen outside the state lock). The haystack
+// is built in a pooled buffer and searched in one automaton pass; the
+// matched pattern IDs then resolve against the visit's needles in
+// priority order, reproducing the original search exactly: full URL
+// before domain-only, cheapest encoding first.
 func (s *StreamScanner) scanOne(f *capture.Flow) (Finding, bool) {
 	if f.VisitURL == "" {
 		return Finding{}, false
 	}
-	vu, err := url.Parse(f.VisitURL)
-	if err != nil {
+	v := s.det.visitFor(f.VisitURL)
+	if !v.ok {
 		return Finding{}, false
 	}
-	visitHost := vu.Hostname()
-	if f.Host == visitHost {
+	if f.Host == v.host {
 		return Finding{}, false // talking to the visited site is not exfiltration
 	}
 
-	hay := haystack(f)
-	if enc, ok := s.search(hay, f.VisitURL); ok {
+	buf := haystackPool.Get(len(f.Path) + 2*len(f.RawQuery) + len(f.Body) + 4)
+	defer haystackPool.Put(buf)
+	writeHaystack(buf, f)
+	ms := s.det.pats.Scan(buf.Bytes())
+	defer ms.Release()
+
+	if enc, ok := v.full.match(ms); ok {
 		return Finding{
 			Browser: f.Browser, Host: f.Host, Kind: KindFullURL,
 			Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
 		}, true
 	}
 	// Domain-only: the visited hostname appears but the full URL does
-	// not. Require a host of at least two labels to avoid noise.
-	if strings.Contains(visitHost, ".") {
-		if enc, ok := s.search(hay, visitHost); ok {
+	// not (dom is nil for single-label hosts).
+	if v.dom != nil {
+		if enc, ok := v.dom.match(ms); ok {
 			return Finding{
 				Browser: f.Browser, Host: f.Host, Kind: KindDomainOnly,
 				Encoding: enc, VisitURL: f.VisitURL, Incognito: f.Incognito, FlowID: f.ID,
@@ -96,40 +100,6 @@ func (s *StreamScanner) scanOne(f *capture.Flow) (Finding, bool) {
 		}
 	}
 	return Finding{}, false
-}
-
-// search looks for value inside the haystack under the detector's
-// encodings, cheapest encoding first.
-func (s *StreamScanner) search(hay, value string) (Encoding, bool) {
-	reps := s.reps(value)
-	for _, enc := range encodingOrder {
-		for _, rep := range reps[enc] {
-			if rep != "" && strings.Contains(hay, rep) {
-				return enc, true
-			}
-		}
-	}
-	return "", false
-}
-
-// reps returns the cached searchable forms of value, computing and
-// publishing them on first use.
-func (s *StreamScanner) reps(value string) map[Encoding][]string {
-	s.repMu.RLock()
-	r, ok := s.repCache[value]
-	s.repMu.RUnlock()
-	if ok {
-		return r
-	}
-	r = representations(value, s.det.Encodings)
-	s.repMu.Lock()
-	if prev, ok := s.repCache[value]; ok {
-		r = prev
-	} else {
-		s.repCache[value] = r
-	}
-	s.repMu.Unlock()
-	return r
 }
 
 // Retract undoes the attempt's findings.
@@ -146,8 +116,9 @@ func (s *StreamScanner) Seal(attempt int64) {
 	s.j.Seal(attempt)
 }
 
-// Reset drops all findings and undo state (the representation cache
-// survives: it is a pure function of the detector's encoding set).
+// Reset drops all findings and undo state. The detector's interned
+// needles and compiled automaton survive: they are a pure function of
+// the values searched so far and stay valid across campaigns.
 func (s *StreamScanner) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()

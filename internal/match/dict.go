@@ -1,0 +1,77 @@
+package match
+
+// Dict is an exact-match (whole-string, anchored) keyword dictionary
+// with optional ASCII case folding. Each word carries one or more
+// payload IDs, kept in insertion order — internal/pii registers its
+// detector indices in detector order, so Lookup hands candidates back
+// in the exact order the pre-engine regexp loop evaluated them.
+//
+// Build once (package init), then Lookup freely: Dict is immutable
+// after construction and safe for concurrent reads. Add is not safe to
+// interleave with Lookup.
+type Dict struct {
+	fold bool
+	m    map[string][]int
+}
+
+// NewDict returns an empty dictionary. With fold set, words and
+// lookups are ASCII-lowercased, matching a (?i) anchored pattern.
+func NewDict(fold bool) *Dict {
+	return &Dict{fold: fold, m: make(map[string][]int)}
+}
+
+// Add registers a word with a payload ID. Duplicate (word, id) pairs
+// are kept; callers register each id once per word.
+func (d *Dict) Add(word string, id int) {
+	if d.fold {
+		word = foldASCII(word)
+	}
+	d.m[word] = append(d.m[word], id)
+}
+
+// Len returns the number of distinct words.
+func (d *Dict) Len() int { return len(d.m) }
+
+// Lookup returns the payload IDs of the word (nil when absent). The
+// returned slice is shared — callers must not mutate it. Folding a
+// short already-lowercase key allocates nothing.
+func (d *Dict) Lookup(word string) []int {
+	if !d.fold {
+		return d.m[word]
+	}
+	// Fast path: already folded (the overwhelmingly common case for
+	// wire parameter names) — look up without allocating.
+	folded := true
+	for i := 0; i < len(word); i++ {
+		if c := word[i]; c >= 'A' && c <= 'Z' {
+			folded = false
+			break
+		}
+	}
+	if folded {
+		return d.m[word]
+	}
+	if len(word) <= 64 {
+		var buf [64]byte
+		b := buf[:len(word)]
+		for i := 0; i < len(word); i++ {
+			c := word[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b[i] = c
+		}
+		return d.m[string(b)] // map lookup by []byte-to-string does not allocate
+	}
+	return d.m[foldASCII(word)]
+}
+
+func foldASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

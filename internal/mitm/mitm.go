@@ -14,6 +14,7 @@ package mitm
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"crypto/tls"
 	"errors"
@@ -26,12 +27,19 @@ import (
 	"sync"
 	"time"
 
+	"panoptes/internal/bytepool"
 	"panoptes/internal/capture"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/netsim"
 	"panoptes/internal/obs"
 	"panoptes/internal/pki"
 )
+
+// bodyPool recycles the scratch buffers that read request and response
+// bodies off the wire. Classes cover small telemetry beacons, typical
+// page assets, and the megabyte tail; a pathological body beyond 4× the
+// top class is dropped on Put rather than pinned.
+var bodyPool = bytepool.New("mitm_body", 4<<10, 64<<10, 1<<20)
 
 // Observability instruments the proxy hot paths against the default obs
 // registry. Counters are process-wide totals; per-proxy numbers stay
@@ -601,15 +609,25 @@ func (p *Proxy) buildFlow(req *http.Request, scheme, host string, uid int) *capt
 		}
 	}
 	if req.Body != nil && req.ContentLength != 0 {
-		body, _ := io.ReadAll(io.LimitReader(req.Body, 10<<20))
+		// Read through a pooled scratch buffer, then make ONE exact-size
+		// allocation holding the replayable body. The old path allocated
+		// three times per request: io.ReadAll's growth chain, the capped
+		// f.Body copy, and a full string(body) copy for the re-buffered
+		// reader.
+		buf := bodyPool.Get(int(req.ContentLength))
+		_, _ = io.Copy(buf, io.LimitReader(req.Body, 10<<20))
 		req.Body.Close()
+		body := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+		bodyPool.Put(buf)
 		size += len(body)
-		capped := body
-		if len(capped) > capture.MaxBodyCapture {
-			capped = capped[:capture.MaxBodyCapture]
+		if len(body) > capture.MaxBodyCapture {
+			// Copy the capped prefix so the retained Flow does not pin
+			// the full-size backing array for the capture's lifetime.
+			f.Body = append([]byte(nil), body[:capture.MaxBodyCapture]...)
+		} else {
+			f.Body = body // small bodies share the exact-size allocation
 		}
-		f.Body = append([]byte(nil), capped...)
-		req.Body = io.NopCloser(strings.NewReader(string(body)))
+		req.Body = io.NopCloser(bytes.NewReader(body))
 		req.ContentLength = int64(len(body))
 	}
 	f.ReqBytes = size
@@ -664,27 +682,32 @@ func isDefaultPort(scheme, port string) bool {
 // writeResponse serialises the upstream response to the client and
 // returns the approximate byte count written.
 func (p *Proxy) writeResponse(w io.Writer, resp *http.Response) (int, error) {
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
+	// Both the body and the serialised head live in pooled buffers for
+	// the duration of the write; neither escapes.
+	bb := bodyPool.Get(int(resp.ContentLength))
+	defer bodyPool.Put(bb)
+	if _, err := io.Copy(bb, io.LimitReader(resp.Body, 64<<20)); err != nil {
 		return 0, fmt.Errorf("mitm: read upstream body: %w", err)
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "HTTP/1.1 %03d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	body := bb.Bytes()
+	hb := bodyPool.Get(512)
+	defer bodyPool.Put(hb)
+	fmt.Fprintf(hb, "HTTP/1.1 %03d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
 	hdr := resp.Header.Clone()
 	hdr.Del("Transfer-Encoding")
 	hdr.Set("Content-Length", fmt.Sprint(len(body)))
-	if err := hdr.Write(&sb); err != nil {
+	if err := hdr.Write(hb); err != nil {
 		return 0, err
 	}
-	sb.WriteString("\r\n")
-	head := sb.String()
-	if _, err := io.WriteString(w, head); err != nil {
+	hb.WriteString("\r\n")
+	headLen := hb.Len()
+	if _, err := w.Write(hb.Bytes()); err != nil {
 		return 0, err
 	}
 	if _, err := w.Write(body); err != nil {
-		return len(head), err
+		return headLen, err
 	}
-	return len(head) + len(body), nil
+	return headLen + len(body), nil
 }
 
 // ParseURL is a small helper exposed for addons that need to re-parse a

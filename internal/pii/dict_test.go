@@ -1,0 +1,120 @@
+package pii
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"panoptes/internal/capture"
+)
+
+// TestDictMatchesKeyPatSpec proves the dictionary dispatch implements
+// exactly the language of every detector's anchored keyPat: for each
+// candidate key — every declared spelling, case-mangled variants, and
+// near-misses — dictionary membership must agree with the regexp.
+func TestDictMatchesKeyPatSpec(t *testing.T) {
+	var corpus []string
+	for _, d := range detectors {
+		for _, k := range d.keys {
+			corpus = append(corpus,
+				k,
+				strings.ToUpper(k),
+				strings.Title(k),
+				"x"+k, // prefixed: anchored pattern must reject
+				k+"x", // suffixed
+				k+"_", // trailing separator
+				"_"+k, // leading separator
+			)
+		}
+	}
+	corpus = append(corpus, "", "_", "-", "type", "screen", "id", "useragent",
+		"device__type", "device--type", "device_-type", "screenwh")
+
+	for _, key := range corpus {
+		cands := keyDict.Lookup(key)
+		for i, d := range detectors {
+			if d.keyPat == nil {
+				continue
+			}
+			want := d.keyPat.MatchString(key)
+			got := false
+			for _, c := range cands {
+				if c == i {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Errorf("key %q, detector %d (%s): dict=%v regexp=%v", key, i, d.attr, got, want)
+			}
+		}
+	}
+}
+
+// regexEmitReference replays the pre-dictionary emit loop verbatim: one
+// switch over all detectors in declaration order, keyPat first-class.
+func regexEmitReference(f *capture.Flow, key, val string) []Finding {
+	var out []Finding
+	for _, d := range detectors {
+		switch {
+		case d.valOnly != nil:
+			if d.valOnly.MatchString(val) {
+				out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
+					Host: f.Host, Key: key, Value: val, FlowID: f.ID})
+			}
+		case d.keyPat.MatchString(key):
+			if d.valPat == nil || d.valPat.MatchString(val) {
+				out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
+					Host: f.Host, Key: key, Value: val, FlowID: f.ID})
+			}
+		}
+	}
+	return out
+}
+
+// TestScanFlowMatchesRegexReference drives whole flows through ScanFlow
+// and through a reference scan built on the old regexp emit, asserting
+// byte-identical findings in identical order.
+func TestScanFlowMatchesRegexReference(t *testing.T) {
+	flows := []*capture.Flow{
+		{ID: 1, Browser: "b1", Host: "t.test",
+			RawQuery: "devType=phone&TZ=Europe%2FBerlin&resolution=1080x1920&cc=DE&lat=52.52&lng=13.40"},
+		{ID: 2, Browser: "b1", Host: "t.test",
+			RawQuery: "Device_Type=tablet&screen-density=420&rooted=false&HL=de&bearer=wifi"},
+		{ID: 3, Browser: "b2", Host: "u.test",
+			Body: []byte(`{"manufacturer":"Acme","local_ip":"192.168.1.7","network_type":"lte","zone":"Europe/Paris","count":3}`)},
+		{ID: 4, Browser: "b2", Host: "u.test",
+			Headers: map[string][]string{"Content-Type": {"application/x-www-form-urlencoded"}},
+			Body:    []byte("connection_type=metered&country_code=FR&deviceScreenWidth=1080")},
+		{ID: 5, Browser: "b3", Host: "v.test",
+			// Nested base64 payload: {"locale":"en-US","dpi":"320"}
+			RawQuery: "payload=eyJsb2NhbGUiOiJlbi1VUyIsImRwaSI6IjMyMCJ9&ignored=1"},
+		{ID: 6, Browser: "b3", Host: "v.test",
+			RawQuery: "formfactor=mobile&form_factor=phone&form-factor=desk&timezone=America%2FNew_York"},
+		{ID: 7, Browser: "b3", Host: "v.test", Body: []byte("no json here")},
+	}
+	for _, f := range flows {
+		got := ScanFlow(f)
+		want := scanFlowReference(f)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("flow %d:\n dict  %+v\n regex %+v", f.ID, got, want)
+		}
+	}
+	// The corpus must actually exercise findings, or this test is vacuous.
+	total := 0
+	for _, f := range flows {
+		total += len(ScanFlow(f))
+	}
+	if total < 10 {
+		t.Fatalf("corpus produced only %d findings", total)
+	}
+}
+
+// scanFlowReference mirrors ScanFlow's traversal (query, nested
+// decodes, JSON body, form body) but emits through regexEmitReference.
+func scanFlowReference(f *capture.Flow) []Finding {
+	var out []Finding
+	emit := func(key, val string) { out = append(out, regexEmitReference(f, key, val)...) }
+	forEachPair(f, emit)
+	return out
+}

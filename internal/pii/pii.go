@@ -10,6 +10,7 @@
 package pii
 
 import (
+	"bytes"
 	"encoding/base64"
 	"net/url"
 	"regexp"
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"panoptes/internal/capture"
+	"panoptes/internal/match"
 )
 
 // Attribute is one Table 2 column.
@@ -47,10 +49,18 @@ func Columns() []Attribute {
 	}
 }
 
-// detector recognises one attribute by key pattern and/or value pattern.
+// detector recognises one attribute by key dictionary and/or value
+// pattern. All patterns are compiled once at package init; nothing in
+// the per-flow path compiles or interprets a key regexp.
 type detector struct {
 	attr Attribute
-	// keyPat matches a parameter/field name.
+	// keys are the literal parameter/field names the detector claims,
+	// in their canonical lowercase-with-separator spellings. They are
+	// the exact finite language of keyPat.
+	keys []string
+	// keyPat is the anchored regexp form of keys. The scan path never
+	// runs it — key dispatch goes through the package dictionary — but
+	// it is kept as the specification the dictionary is tested against.
 	keyPat *regexp.Regexp
 	// valPat, when set, must also match the value (heuristics).
 	valPat *regexp.Regexp
@@ -58,45 +68,94 @@ type detector struct {
 	valOnly *regexp.Regexp
 }
 
+// joined expands the `a[_-]?b` regex idiom into its three spellings.
+func joined(a, b string) []string { return []string{a + b, a + "_" + b, a + "-" + b} }
+
+// cat concatenates key-spelling lists.
+func cat(lists ...[]string) []string {
+	var out []string
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
 var detectors = []detector{
 	{attr: AttrDeviceType,
+		keys:   cat(joined("device", "type"), []string{"devtype"}, joined("form", "factor")),
 		keyPat: regexp.MustCompile(`(?i)^(device[_-]?type|devtype|form[_-]?factor)$`),
 		valPat: regexp.MustCompile(`(?i)^(phone|tablet|mobile)$`)},
 	{attr: AttrDeviceManuf,
+		keys:   cat([]string{"manufacturer"}, joined("device", "vendor"), []string{"brand", "oem"}),
 		keyPat: regexp.MustCompile(`(?i)^(manufacturer|device[_-]?vendor|brand|oem)$`)},
 	{attr: AttrTimezone,
+		keys:   cat([]string{"tz"}, joined("time", "zone")),
 		keyPat: regexp.MustCompile(`(?i)^(tz|time[_-]?zone)$`)},
 	{attr: AttrTimezone,
 		valOnly: regexp.MustCompile(`^(Europe|America|Asia|Africa|Australia)/[A-Za-z_]+$`)},
 	{attr: AttrResolution,
+		keys:   cat([]string{"resolution"}, joined("screen", "size"), []string{"display"}),
 		keyPat: regexp.MustCompile(`(?i)^(resolution|screen[_-]?size|display)$`),
 		valPat: regexp.MustCompile(`^\d{3,4}[xX*]\d{3,4}$`)},
 	{attr: AttrResolution,
+		keys: cat([]string{"devicescreenwidth", "devicescreenheight"},
+			joined("screen", "w"), joined("screen", "h"),
+			joined("screen", "width"), joined("screen", "height")),
 		keyPat: regexp.MustCompile(`(?i)^(deviceScreenWidth|deviceScreenHeight|screen[_-]?(w|h|width|height))$`)},
 	{attr: AttrLocalIP,
+		keys:   cat(joined("local", "ip"), joined("private", "ip"), joined("lan", "ip")),
 		keyPat: regexp.MustCompile(`(?i)^(local[_-]?ip|private[_-]?ip|lan[_-]?ip)$`),
 		valPat: regexp.MustCompile(`^(10\.|172\.(1[6-9]|2\d|3[01])\.|192\.168\.)\d{1,3}\.\d{1,3}$`)},
 	{attr: AttrDPI,
+		keys:   cat([]string{"dpi", "density"}, joined("screen", "density")),
 		keyPat: regexp.MustCompile(`(?i)^(dpi|density|screen[_-]?density)$`),
 		valPat: regexp.MustCompile(`^\d{2,3}(\.\d+)?$`)},
 	{attr: AttrRooted,
+		keys:   cat([]string{"rooted"}, joined("is", "rooted"), joined("root", "status"), []string{"jailbroken"}),
 		keyPat: regexp.MustCompile(`(?i)^(rooted|is[_-]?rooted|root[_-]?status|jailbroken)$`),
 		valPat: regexp.MustCompile(`(?i)^(true|false|0|1|yes|no)$`)},
 	{attr: AttrLocale,
+		keys:   cat([]string{"locale"}, joined("lang", "code"), joined("language", "code"), []string{"hl"}),
 		keyPat: regexp.MustCompile(`(?i)^(locale|lang(uage)?[_-]?code|hl)$`),
 		valPat: regexp.MustCompile(`^[a-zA-Z]{2}([_-][a-zA-Z]{2})?$`)},
 	{attr: AttrCountry,
+		keys:   cat([]string{"country"}, joined("country", "code"), []string{"cc"}, joined("geo", "country")),
 		keyPat: regexp.MustCompile(`(?i)^(country([_-]?code)?|cc|geo[_-]?country)$`),
 		valPat: regexp.MustCompile(`^[A-Za-z]{2}$`)},
 	{attr: AttrLocation,
+		keys:   []string{"lat", "latitude", "lng", "lon", "longitude"},
 		keyPat: regexp.MustCompile(`(?i)^(lat(itude)?|lng|lon(gitude)?)$`),
 		valPat: regexp.MustCompile(`^-?\d{1,3}\.\d+$`)},
 	{attr: AttrConnType,
+		keys:   cat(joined("connection", "type"), joined("conn", "type"), []string{"metered"}),
 		keyPat: regexp.MustCompile(`(?i)^(connection[_-]?type|conn[_-]?type|metered)$`),
 		valPat: regexp.MustCompile(`(?i)^(metered|unmetered|true|false)$`)},
 	{attr: AttrNetType,
+		keys:   cat(joined("network", "type"), joined("net", "type"), []string{"radio", "bearer"}),
 		keyPat: regexp.MustCompile(`(?i)^(network[_-]?type|net[_-]?type|radio|bearer)$`),
 		valPat: regexp.MustCompile(`(?i)^(wifi|cellular|4g|5g|lte|3g)$`)},
+}
+
+// keyDict maps a folded parameter name to the indices of the keyed
+// detectors claiming it; valOnlyIdx lists the value-only detectors.
+// Together they replace one anchored (?i) regexp match per detector per
+// parameter with a single hash probe. Folding is ASCII, matching the
+// ASCII-only key languages above.
+var (
+	keyDict    = match.NewDict(true)
+	valOnlyIdx []int
+)
+
+func init() {
+	for i, d := range detectors {
+		if d.valOnly != nil {
+			valOnlyIdx = append(valOnlyIdx, i)
+			continue
+		}
+		for _, k := range d.keys {
+			keyDict.Add(k, i)
+		}
+	}
 }
 
 // Finding is one detected leak instance.
@@ -117,23 +176,46 @@ var jsonFieldPat = regexp.MustCompile(`"([A-Za-z0-9_.-]+)"\s*:\s*("([^"]*)"|-?\d
 // ScanFlow inspects one flow's query parameters and body.
 func ScanFlow(f *capture.Flow) []Finding {
 	var out []Finding
+	record := func(i int, key, val string) {
+		out = append(out, Finding{Attribute: detectors[i].attr, Browser: f.Browser,
+			Host: f.Host, Key: key, Value: val, FlowID: f.ID})
+	}
+	// emit evaluates one key/value pair. Key dispatch is a single
+	// dictionary probe; the candidate indices (ascending) are merged
+	// with the value-only detectors so findings still come out in exact
+	// detector-declaration order, byte-identical to the regexp loop this
+	// replaces.
 	emit := func(key, val string) {
-		for _, d := range detectors {
-			switch {
-			case d.valOnly != nil:
-				if d.valOnly.MatchString(val) {
-					out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
-						Host: f.Host, Key: key, Value: val, FlowID: f.ID})
-				}
-			case d.keyPat.MatchString(key):
-				if d.valPat == nil || d.valPat.MatchString(val) {
-					out = append(out, Finding{Attribute: d.attr, Browser: f.Browser,
-						Host: f.Host, Key: key, Value: val, FlowID: f.ID})
-				}
+		cands := keyDict.Lookup(key)
+		ci := 0
+		keyed := func(i int) {
+			if d := &detectors[i]; d.valPat == nil || d.valPat.MatchString(val) {
+				record(i, key, val)
 			}
 		}
+		for _, vi := range valOnlyIdx {
+			for ci < len(cands) && cands[ci] < vi {
+				keyed(cands[ci])
+				ci++
+			}
+			if detectors[vi].valOnly.MatchString(val) {
+				record(vi, key, val)
+			}
+		}
+		for ; ci < len(cands); ci++ {
+			keyed(cands[ci])
+		}
 	}
+	forEachPair(f, emit)
+	return out
+}
 
+// forEachPair walks every key/value pair a flow exposes — query
+// parameters (plus nested decodes), JSON-ish body fields and
+// form-encoded bodies — in the scan's deterministic order, calling emit
+// for each. Shared by ScanFlow and the regexp-reference test so both
+// evaluate exactly the same pairs.
+func forEachPair(f *capture.Flow, emit func(key, val string)) {
 	// URL query parameters.
 	if vals, err := url.ParseQuery(f.RawQuery); err == nil {
 		keys := make([]string, 0, len(vals))
@@ -154,15 +236,15 @@ func ScanFlow(f *capture.Flow) []Finding {
 		}
 	}
 
-	// Body fields (JSON-ish).
-	body := string(f.Body)
-	for _, m := range jsonFieldPat.FindAllStringSubmatch(body, -1) {
-		emit(m[1], strings.Trim(m[2], `"`))
+	// Body fields (JSON-ish), matched over the captured bytes directly —
+	// the old string(f.Body) conversion copied every body once per scan.
+	for _, m := range jsonFieldPat.FindAllSubmatch(f.Body, -1) {
+		emit(string(m[1]), string(bytes.Trim(m[2], `"`)))
 	}
 	// Form-encoded bodies. Keys are sorted, as for the query section,
 	// so a flow's findings come out in a deterministic order.
 	if strings.Contains(f.HeaderGet("Content-Type"), "x-www-form-urlencoded") {
-		if vals, err := url.ParseQuery(body); err == nil {
+		if vals, err := url.ParseQuery(string(f.Body)); err == nil {
 			keys := make([]string, 0, len(vals))
 			for k := range vals {
 				keys = append(keys, k)
@@ -175,7 +257,6 @@ func ScanFlow(f *capture.Flow) []Finding {
 			}
 		}
 	}
-	return out
 }
 
 // decodeNested tries %-unescape and Base64 on a value, returning any

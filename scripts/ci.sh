@@ -33,6 +33,9 @@ go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
 echo "==> go test -race (core, leak, pipeline: concurrent scheduler + streaming analyzers)"
 go test -race ./internal/core/... ./internal/leak/... ./internal/pipeline/...
 
+echo "==> go test -race (match, pii: shared automaton + dictionary dispatch)"
+go test -race ./internal/match/... ./internal/pii/...
+
 echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
 # A seeded chaos campaign must complete with every browser intact and
 # every failed visit classified, and the determinism keystone must hold
@@ -42,5 +45,27 @@ go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism' \
 
 echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N)"
 go test -run '^$' -bench CrawlScaling -benchtime=1x .
+
+echo "==> benchmark smoke: leak scan scaling + mitm body allocs"
+bench_out=$(go test -run '^$' -bench 'LeakScanScaling|MitmBodyAlloc' -benchmem -benchtime=1x \
+    ./internal/leak/ ./internal/mitm/)
+echo "$bench_out"
+# Emit a machine-readable baseline (flows/sec and allocs/op per case) so
+# perf regressions show up as a diff against the committed BENCH_leakscan.json.
+echo "$bench_out" | awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark(LeakScanScaling|MitmBodyAlloc)/ {
+    name = $1
+    flows = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "flows/sec") flows = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"bench\": \"%s\", \"flows_per_sec\": \"%s\", \"allocs_per_op\": \"%s\"}", name, flows, allocs
+}
+END { print "\n]" }' > BENCH_leakscan.json
+echo "wrote BENCH_leakscan.json"
 
 echo "==> ci.sh: all checks passed"
