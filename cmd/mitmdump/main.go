@@ -25,6 +25,7 @@ import (
 	"panoptes/internal/mitm"
 	"panoptes/internal/obs"
 	"panoptes/internal/pki"
+	"panoptes/internal/sink"
 	"panoptes/internal/taint"
 )
 
@@ -37,6 +38,11 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		statsEvery  = flag.Duration("stats-every", 10*time.Second, "period of the one-line runtime stats summary (0 disables)")
+
+		sinkSpecs  = flag.String("sink", "", "export sinks, comma-separated: http:URL (NDJSON bulk POST), file:DIR (rotating gzip JSONL), mem (in-memory smoke)")
+		sinkBatch  = flag.Int("sink-batch", 0, "export batch size (default 64)")
+		sinkQueue  = flag.Int("sink-queue", 0, "in-flight export batches per sink (default 8)")
+		sinkPolicy = flag.String("sink-policy", "drop", "full export queue policy: drop (shed batches) or block (backpressure interception)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,26 @@ func main() {
 	}
 	db := capture.NewDB()
 	splitter := taint.NewSplitter(*token, db, nil)
+
+	// Standalone export plane: outside the testbed flows are never tagged
+	// with navigation attempts, so each committed flow exports as soon as
+	// its batch flushes (wall clock, wall backends).
+	var exporter *sink.Exporter
+	if *sinkSpecs != "" {
+		sinks, err := sink.ParseSpecs(*sinkSpecs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		policy, err := sink.ParsePolicy(*sinkPolicy)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		exporter = sink.NewExporter(
+			sink.Config{BatchSize: *sinkBatch, Queue: *sinkQueue, Policy: policy},
+			sinks...)
+		db.SetTap(exporter)
+		fmt.Fprintf(os.Stderr, "mitmdump: export plane wired (%d sinks, policy=%s)\n", len(sinks), policy)
+	}
 
 	dialer := &net.Dialer{Timeout: 15 * time.Second}
 	proxy, err := mitm.New(mitm.Config{
@@ -95,6 +121,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mitmdump: serve: %v\n", err)
 	}
 	close(done)
+	if exporter != nil {
+		if err := exporter.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mitmdump: sink close: %v\n", err)
+		}
+		for _, s := range exporter.Stats() {
+			fmt.Fprintf(os.Stderr, "mitmdump: sink %s: %d published, %d dropped, %d breaker opens\n",
+				s.Name, s.Published, s.Dropped, s.BreakerOpens)
+		}
+	}
 	printStats()
 
 	if *outDir != "" {

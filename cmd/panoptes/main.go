@@ -32,6 +32,7 @@ import (
 	"panoptes/internal/obs"
 	"panoptes/internal/profiles"
 	"panoptes/internal/report"
+	"panoptes/internal/sink"
 )
 
 func main() {
@@ -45,6 +46,11 @@ func main() {
 		harOut    = flag.Bool("har", false, "with -out: also export HAR 1.2 archives")
 		retain    = flag.String("retain", "all", "flow retention: all, native (drop engine flows after streaming analysis) or none (drop all; with -out, dropped flows spill to JSONL as they commit)")
 		block     = flag.Bool("block", false, "install the countermeasure blocker (internal/blocker)")
+
+		sinkSpecs  = flag.String("sink", "", "export sinks, comma-separated: http:URL (NDJSON bulk POST), file:DIR (rotating gzip JSONL), mem (in-memory smoke)")
+		sinkBatch  = flag.Int("sink-batch", 0, "export batch size (default 64)")
+		sinkQueue  = flag.Int("sink-queue", 0, "in-flight export batches per sink (default 8)")
+		sinkPolicy = flag.String("sink-policy", "drop", "full export queue policy: drop (shed batches) or block (backpressure the crawl)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		waterfall   = flag.Int("waterfall", 0, "print an ASCII waterfall for the first N page-visit span trees")
@@ -130,12 +136,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "panoptes: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", *metricsAddr)
 	}
 
+	sinks, err := sink.ParseSpecs(*sinkSpecs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	policy, err := sink.ParsePolicy(*sinkPolicy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	fmt.Fprintf(os.Stderr, "panoptes: assembling testbed (%d sites, %d browsers)...\n", *sites, len(selected))
-	w, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected, Retain: retainMode})
+	w, err := core.NewWorld(core.WorldConfig{
+		Sites: *sites, Profiles: selected, Retain: retainMode,
+		Sinks:      sinks,
+		SinkConfig: sink.Config{BatchSize: *sinkBatch, Queue: *sinkQueue, Policy: policy},
+	})
 	if err != nil {
 		fatalf("world: %v", err)
 	}
 	defer w.Close()
+	if len(sinks) > 0 {
+		fmt.Fprintf(os.Stderr, "panoptes: export plane wired (%d sinks, policy=%s)\n", len(sinks), policy)
+	}
 
 	// With retention off, committed flows stream through the analyzers
 	// and are then dropped; given -out they spill to the JSONL databases
@@ -331,6 +353,16 @@ func main() {
 			s.NativeBlocked, s.NativeExamined, s.ByReason, s.EnginePassed)
 	}
 
+	// Export plane epilogue: analyzer deltas go out once the campaign's
+	// results are final, then the queues drain before the summary reads
+	// the sink counters.
+	if w.Exporter != nil {
+		if err := w.Exporter.PublishDeltas(w.Pipeline.Results()); err != nil {
+			fmt.Fprintf(os.Stderr, "panoptes: delta export: %v\n", err)
+		}
+		w.Exporter.Drain()
+	}
+
 	// End-of-campaign observability: the headline numbers (cert-cache hit
 	// rate, p50/p95 visit latency) plus the full metric-family table.
 	if needCrawl || *fig5 {
@@ -338,6 +370,10 @@ func main() {
 		fmt.Println()
 		report.PipelineObsSummary(os.Stdout, obs.Default)
 		fmt.Println()
+		if w.Exporter != nil {
+			report.SinkObsSummary(os.Stdout, obs.Default)
+			fmt.Println()
+		}
 		report.MetricsSummary(os.Stdout, obs.Default)
 		fmt.Println()
 	}

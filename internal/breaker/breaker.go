@@ -1,0 +1,91 @@
+// Package breaker is a small, dependency-free consecutive-failure
+// circuit breaker driven by an externally supplied clock. It was hoisted
+// out of internal/core (PR 3's campaign breakers) so that every layer
+// needing failure isolation — the campaign scheduler's per-host and
+// per-browser breakers, the export plane's per-sink breakers — shares
+// one tested implementation. The package is deliberately clock-agnostic:
+// callers pass the "now" they run on (the deterministic virtual clock in
+// the testbed, the wall clock in standalone binaries), which keeps the
+// determinism contract in the callers' hands.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// consecutive failures it opens for Cooldown; while open, callers skip
+// the protected operation instead of burning retries against a target
+// that is clearly down. What counts as one outcome is the caller's
+// choice — the campaign scheduler records committed visit outcomes (not
+// individual attempts) so converging fault plans never trip it; the
+// export plane records batch publishes.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// New returns a closed breaker that opens after threshold consecutive
+// failures and stays open for cooldown.
+func New(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether the protected operation may run at now.
+func (br *Breaker) Allow(now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return !now.Before(br.openUntil)
+}
+
+// Record feeds one outcome in; it returns true when this failure opened
+// the breaker (callers bump their open-transition counter on it). A
+// success resets the consecutive-failure count.
+func (br *Breaker) Record(ok bool, now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if ok {
+		br.fails = 0
+		return false
+	}
+	br.fails++
+	if br.fails < br.threshold {
+		return false
+	}
+	br.fails = 0
+	br.openUntil = now.Add(br.cooldown)
+	return true
+}
+
+// Set is a lazily-populated keyed breaker map (the campaign's per-host
+// breakers are shared by every worker; per-browser breakers live in the
+// worker). All breakers in a set share one threshold and cooldown.
+type Set struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewSet returns an empty keyed set.
+func NewSet(threshold int, cooldown time.Duration) *Set {
+	return &Set{threshold: threshold, cooldown: cooldown, m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for key, creating it closed on first use.
+func (s *Set) Get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.m[key]
+	if br == nil {
+		br = New(s.threshold, s.cooldown)
+		s.m[key] = br
+	}
+	return br
+}

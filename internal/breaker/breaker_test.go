@@ -1,0 +1,109 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2023, time.May, 12, 9, 0, 0, 0, time.UTC)
+
+func TestOpensAfterThresholdConsecutiveFailures(t *testing.T) {
+	br := New(3, time.Minute)
+	now := epoch
+	if !br.Allow(now) {
+		t.Fatal("new breaker must start closed")
+	}
+	if br.Record(false, now) {
+		t.Fatal("opened after 1 failure, threshold 3")
+	}
+	if br.Record(false, now) {
+		t.Fatal("opened after 2 failures, threshold 3")
+	}
+	if !br.Record(false, now) {
+		t.Fatal("third consecutive failure must open the breaker")
+	}
+	if br.Allow(now) {
+		t.Fatal("open breaker must not allow")
+	}
+}
+
+func TestSuccessResetsFailureStreak(t *testing.T) {
+	br := New(3, time.Minute)
+	now := epoch
+	br.Record(false, now)
+	br.Record(false, now)
+	br.Record(true, now) // streak broken
+	br.Record(false, now)
+	if br.Record(false, now) {
+		t.Fatal("two failures after a success must not open a threshold-3 breaker")
+	}
+	if !br.Record(false, now) {
+		t.Fatal("third failure of the new streak must open")
+	}
+}
+
+func TestCooldownExpiry(t *testing.T) {
+	br := New(1, time.Minute)
+	now := epoch
+	if !br.Record(false, now) {
+		t.Fatal("threshold-1 breaker must open on first failure")
+	}
+	if br.Allow(now.Add(59 * time.Second)) {
+		t.Fatal("breaker allowed inside the cooldown window")
+	}
+	if !br.Allow(now.Add(time.Minute)) {
+		t.Fatal("breaker must close once the cooldown elapses")
+	}
+}
+
+func TestReopenAfterCooldown(t *testing.T) {
+	br := New(2, time.Minute)
+	now := epoch
+	br.Record(false, now)
+	if !br.Record(false, now) {
+		t.Fatal("must open")
+	}
+	later := now.Add(2 * time.Minute)
+	if !br.Allow(later) {
+		t.Fatal("cooldown elapsed")
+	}
+	// The streak was reset on open: two fresh failures are needed again.
+	if br.Record(false, later) {
+		t.Fatal("single post-cooldown failure must not reopen a threshold-2 breaker")
+	}
+	if !br.Record(false, later) {
+		t.Fatal("second post-cooldown failure must reopen")
+	}
+}
+
+func TestSetKeysAreIndependent(t *testing.T) {
+	s := NewSet(1, time.Minute)
+	now := epoch
+	if s.Get("a") != s.Get("a") {
+		t.Fatal("Get must return the same breaker for one key")
+	}
+	s.Get("a").Record(false, now)
+	if s.Get("a").Allow(now) {
+		t.Fatal("key a must be open")
+	}
+	if !s.Get("b").Allow(now) {
+		t.Fatal("key b must be unaffected by key a's failures")
+	}
+}
+
+func TestConcurrentRecordAllow(t *testing.T) {
+	br := New(5, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(fail bool) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				br.Record(fail, epoch)
+				br.Allow(epoch)
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+}

@@ -13,7 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"panoptes/internal/breaker"
 	"panoptes/internal/browser"
+	"panoptes/internal/capture"
 	"panoptes/internal/cdp"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/frida"
@@ -47,6 +49,12 @@ func init() {
 	obs.Default.Help("core_visit_retries", "Navigation attempts retried after a failure.")
 	obs.Default.Help("breaker_open_total", "Circuit-breaker open transitions, by scope (host or browser).")
 	obs.Default.Help("core_teardown_errors_total", "Session/instrumentation teardown errors, by operation.")
+}
+
+// breakerOpened records a campaign breaker transition to open (the
+// breaker machinery itself lives in internal/breaker).
+func breakerOpened(scope string) {
+	obs.Default.Counter("breaker_open_total", "scope", scope).Inc()
 }
 
 // attemptIDs issues process-unique navigation-attempt tags. Flows captured
@@ -189,7 +197,7 @@ type crawlOutcome struct {
 // sharedCrawl is the cross-worker campaign state: per-host breakers and
 // the recorded-visit budget.
 type sharedCrawl struct {
-	hosts     *breakerSet
+	hosts     *breaker.Set
 	committed atomic.Int64
 	stopped   atomic.Bool
 }
@@ -255,6 +263,23 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	// into the streaming analyzers, so a resumed run's incremental state
 	// picks up exactly where the checkpointed run left off.
 	if cfg.Resume != nil {
+		// The checkpointed flows were already committed — and, with an
+		// export plane wired, already published — before the crash. Seed
+		// the exporter's dedupe set with their IDs and fast-forward the
+		// ID allocator past them, so replaying them through the tap below
+		// cannot double-publish and fresh flows cannot collide.
+		if w.Exporter != nil {
+			var maxID int64
+			ids := make([]int64, 0, len(cfg.Resume.Engine)+len(cfg.Resume.Native))
+			for _, f := range append(append([]*capture.Flow{}, cfg.Resume.Engine...), cfg.Resume.Native...) {
+				ids = append(ids, f.ID)
+				if f.ID > maxID {
+					maxID = f.ID
+				}
+			}
+			capture.EnsureFlowIDsAbove(maxID)
+			w.Exporter.SeedExported(ids)
+		}
 		for _, f := range cfg.Resume.Engine {
 			f.Attempt = 0
 			w.DB.Engine.Add(f)
@@ -275,7 +300,7 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		workers = 1
 	}
 
-	shared := &sharedCrawl{hosts: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)}
+	shared := &sharedCrawl{hosts: breaker.NewSet(cfg.BreakerThreshold, cfg.BreakerCooldown)}
 	outcomes := make([]crawlOutcome, len(jobs))
 	jobCh := make(chan job)
 	var wg sync.WaitGroup
@@ -489,7 +514,7 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisit
 		return nil
 	}
 
-	bb := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	bb := breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	for siteIdx, site := range cfg.Sites {
 		url := site.URL()
 		if completedSet[url] {
@@ -501,9 +526,9 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisit
 		}
 
 		host := faultsim.HostOf(url)
-		hb := shared.hosts.get(host)
+		hb := shared.hosts.Get(host)
 		now := w.Clock.Now()
-		if !bb.allow(now) || !hb.allow(now) {
+		if !bb.Allow(now) || !hb.Allow(now) {
 			rec := VisitRecord{
 				Browser: name, URL: url,
 				Err:      fmt.Sprintf("core: circuit breaker open for %s", host),
@@ -619,10 +644,10 @@ func (w *World) crawlBrowser(b *browser.Browser, cfg CampaignConfig, workerVisit
 			out.degraded++
 			mVisitErr.Inc()
 		}
-		if bb.record(ok, w.Clock.Now()) {
+		if bb.Record(ok, w.Clock.Now()) {
 			breakerOpened("browser")
 		}
-		if hb.record(ok, w.Clock.Now()) {
+		if hb.Record(ok, w.Clock.Now()) {
 			breakerOpened("host")
 		}
 		out.visits = append(out.visits, rec)

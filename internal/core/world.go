@@ -28,6 +28,7 @@ import (
 	"panoptes/internal/pipeline"
 	"panoptes/internal/pki"
 	"panoptes/internal/profiles"
+	"panoptes/internal/sink"
 	"panoptes/internal/taint"
 	"panoptes/internal/vclock"
 	"panoptes/internal/vendorsim"
@@ -57,6 +58,15 @@ type WorldConfig struct {
 	// flows bounds resident memory; checkpointing and post-hoc exports
 	// need full retention.
 	Retain capture.RetainMode
+	// Sinks, when non-empty, wires an export plane (internal/sink) next
+	// to the analysis pipeline on the commit tap: committed flows (and
+	// end-of-campaign analyzer deltas) batch and fan out to these
+	// backends under the same attempt quarantine the analyses see.
+	Sinks []sink.Publisher
+	// SinkConfig sizes the exporter (batching, queue bound, policy,
+	// per-sink breakers). Its Now is overridden with the world's virtual
+	// clock.
+	SinkConfig sink.Config
 }
 
 // World is the fully-assembled testbed.
@@ -83,6 +93,9 @@ type World struct {
 	// leak scans, DNS, trackable IDs, Listing 1) registered on it.
 	Pipeline *pipeline.Pipeline
 	Suite    *analysis.Suite
+	// Exporter is the export plane riding the commit tap beside the
+	// pipeline (nil when WorldConfig.Sinks is empty). Close stops it.
+	Exporter *sink.Exporter
 	// Trace collects one span tree per page visit (navigate → intercept →
 	// mitm → capture), stamped with the virtual clock.
 	Trace *obs.Tracer
@@ -184,7 +197,14 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	w.Pipeline = pipeline.New()
 	w.Suite = analysis.NewSuite(w.Hostlist, names)
 	w.Suite.Register(w.Pipeline)
-	w.DB.SetTap(w.Pipeline)
+	if len(cfg.Sinks) > 0 {
+		sc := cfg.SinkConfig
+		sc.Now = clock.Now
+		w.Exporter = sink.NewExporter(sc, cfg.Sinks...)
+		w.DB.SetTap(capture.Taps{w.Pipeline, w.Exporter})
+	} else {
+		w.DB.SetTap(w.Pipeline)
+	}
 	if err := w.DB.SetRetention(cfg.Retain); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -264,6 +284,13 @@ func (w *World) InstallFaults(inj *faultsim.Injector) {
 		w.Inet.SetFaultHook(inj.NetHook())
 	}
 	w.Proxy.SetFaults(inj)
+	if w.Exporter != nil {
+		if inj == nil {
+			w.Exporter.SetFaultHook(nil)
+		} else {
+			w.Exporter.SetFaultHook(inj.SinkFault)
+		}
+	}
 	w.Vendors.DoHCloudflare.SetServFailFunc(inj.DNSServFail)
 	w.Vendors.DoHGoogle.SetServFailFunc(inj.DNSServFail)
 	for _, b := range w.Browsers {
@@ -293,6 +320,9 @@ func (w *World) Browser(name string) (*browser.Browser, error) {
 
 // Close tears the testbed down.
 func (w *World) Close() {
+	if w.Exporter != nil {
+		w.Exporter.Close()
+	}
 	for _, b := range w.Browsers {
 		b.Stop()
 	}

@@ -55,6 +55,7 @@ const (
 	HTTP5xx      Kind = "http_5xx"      // origin answers 500
 	BrowserCrash Kind = "browser_crash" // app process dies on navigate
 	CDPStall     Kind = "cdp_stall"     // DevTools socket stops answering
+	SinkPublish  Kind = "sink_publish"  // export batch publish fails (chaos-only)
 )
 
 // ArmedKinds participate in the deterministic per-attempt arming model, in
@@ -392,6 +393,21 @@ func (inj *Injector) DNSServFail(name string) bool {
 		return false
 	}
 	return inj.chaosHit(DNSServFail, name)
+}
+
+// SinkFault is the export plane's injectable publish failure
+// (sink.Exporter.SetFaultHook). It runs in chaos occurrence mode keyed
+// by sink name — sink publishes happen on dispatcher goroutines after
+// a visit commits, outside the per-attempt arming window, so the armed
+// deterministic mode does not apply.
+func (inj *Injector) SinkFault(sinkName string) error {
+	if inj == nil {
+		return nil
+	}
+	if !inj.chaosHit(SinkPublish, sinkName) {
+		return nil
+	}
+	return markInjected(SinkPublish, fmt.Errorf("faultsim: injected publish failure for sink %s", sinkName))
 }
 
 // Counts returns a copy of the injected-fault tally by kind.

@@ -125,6 +125,49 @@ func PipelineObsSummary(w io.Writer, r *obs.Registry) {
 		r.Counter("capture_spilled_total", "db", "native").Value())
 }
 
+// SinkObsSummary renders the export plane's view: one row per sink with
+// published/dropped event counts and breaker open transitions, then the
+// flush-trigger mix. Quiet when no sink metrics exist (no export plane
+// wired).
+func SinkObsSummary(w io.Writer, r *obs.Registry) {
+	series := r.Series("sink_published_total")
+	sinks := make(map[string]bool)
+	for _, s := range series {
+		if name := s.Labels["sink"]; name != "" {
+			sinks[name] = true
+		}
+	}
+	for _, s := range r.Series("sink_dropped_total") {
+		if name := s.Labels["sink"]; name != "" {
+			sinks[name] = true
+		}
+	}
+	if len(sinks) == 0 {
+		return
+	}
+	names := make([]string, 0, len(sinks))
+	for name := range sinks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "Export sink summary")
+	fmt.Fprintf(w, "  %-12s %12s %12s %14s\n", "sink", "published", "dropped", "breaker opens")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-12s %12d %12d %14d\n", name,
+			r.Counter("sink_published_total", "sink", name).Value(),
+			int64(sumLabel(r, "sink_dropped_total", "sink", name)),
+			r.Counter("sink_breaker_open_total", "sink", name).Value())
+	}
+	fmt.Fprintf(w, "  batch flushes          %d size / %d age / %d manual / %d final\n",
+		r.Counter("sink_batch_flush_total", "trigger", "size").Value(),
+		r.Counter("sink_batch_flush_total", "trigger", "age").Value(),
+		r.Counter("sink_batch_flush_total", "trigger", "manual").Value(),
+		r.Counter("sink_batch_flush_total", "trigger", "final").Value())
+	if deduped := r.Counter("sink_deduped_total").Value(); deduped > 0 {
+		fmt.Fprintf(w, "  resume dedupe          %d events skipped\n", deduped)
+	}
+}
+
 // formatLatency renders observe latencies, keeping sub-millisecond
 // values legible (formatSeconds rounds to a whole millisecond, which
 // would flatten per-flow analyzer costs to 0s).

@@ -1,0 +1,63 @@
+package sink
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSinkThroughput pushes a fixed block of flows per iteration
+// into a deliberately slow sink and reports sustained flows/sec plus
+// the in-flight high-water mark. The acceptance property is bounded
+// memory: under both policies the peak queue depth must plateau at the
+// configured bound (queue + the batch being published + the block-mode
+// batch waiting in send) no matter how fast the producer runs.
+func BenchmarkSinkThroughput(b *testing.B) {
+	const (
+		flowsPerIter = 5000
+		batchSize    = 50
+		queue        = 4
+	)
+	for _, policy := range []Policy{PolicyDrop, PolicyBlock} {
+		b.Run(string(policy), func(b *testing.B) {
+			mem := NewMemorySink()
+			mem.Delay = 100 * time.Microsecond // slow backend: ~10k batches/s ceiling
+			e := NewExporter(Config{
+				BatchSize: batchSize,
+				Queue:     queue,
+				Policy:    policy,
+				Now:       newFakeClock().Now,
+			}, mem)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var id int64
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < flowsPerIter; j++ {
+					id++
+					e.Observe(flow(id, 0))
+				}
+			}
+			e.Drain()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			st := e.Stats()[0]
+			if bound := queue + 2; st.PeakQueue > bound {
+				b.Fatalf("queue depth did not plateau: peak %d > bound %d (policy %s)", st.PeakQueue, bound, policy)
+			}
+			if policy == PolicyBlock && st.Dropped != 0 {
+				b.Fatalf("block policy dropped %d events", st.Dropped)
+			}
+			if st.Published+st.Dropped != int64(b.N)*flowsPerIter {
+				b.Fatalf("accounting: %d published + %d dropped != %d offered",
+					st.Published, st.Dropped, int64(b.N)*flowsPerIter)
+			}
+			total := float64(b.N) * flowsPerIter
+			b.ReportMetric(total/elapsed.Seconds(), "flows/sec")
+			b.ReportMetric(float64(st.PeakQueue), "peak_queue_depth")
+			b.Logf("policy=%s published=%d dropped=%d peak=%d", policy, st.Published, st.Dropped, st.PeakQueue)
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package sink
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileSink writes batches as gzip-compressed JSONL segment files in a
+// directory, rotating to a fresh segment once the current one's
+// compressed size passes RotateBytes. It supersedes the raw
+// capture.Store spill path as the durable flow archive: the exporter
+// feeding it already enforces attempt quarantine, so a segment only
+// ever holds committed history.
+type FileSink struct {
+	// Dir holds the segments, created on first publish if missing.
+	Dir string
+	// RotateBytes rotates after the batch that pushes a segment's
+	// compressed size past it (default 8MB). Rotation is checked between
+	// batches, never mid-batch, so each batch lands whole in one file.
+	RotateBytes int64
+
+	f       *os.File
+	zw      *gzip.Writer
+	n       int64 // compressed bytes in the current segment
+	segment int
+}
+
+// NewFileSink returns a file sink rotating segments under dir.
+func NewFileSink(dir string) *FileSink {
+	return &FileSink{Dir: dir}
+}
+
+// Name implements Publisher.
+func (fs *FileSink) Name() string { return "file" }
+
+// Publish implements Publisher: append the batch to the current
+// segment, flush the compressor so the bytes are recoverable after a
+// crash, then rotate if the segment is over budget.
+func (fs *FileSink) Publish(batch []Envelope) error {
+	body, err := EncodeNDJSON(batch)
+	if err != nil {
+		return err
+	}
+	if fs.zw == nil {
+		if err := fs.open(); err != nil {
+			return err
+		}
+	}
+	if _, err := fs.zw.Write(body); err != nil {
+		return fmt.Errorf("sink: file write: %w", err)
+	}
+	if err := fs.zw.Flush(); err != nil {
+		return fmt.Errorf("sink: file flush: %w", err)
+	}
+	limit := fs.RotateBytes
+	if limit <= 0 {
+		limit = 8 << 20
+	}
+	if fs.compressedSize() >= limit {
+		return fs.closeSegment()
+	}
+	return nil
+}
+
+// Close implements Publisher: seal the current segment.
+func (fs *FileSink) Close() error { return fs.closeSegment() }
+
+// SegmentPaths lists the segment files written so far, in order.
+func (fs *FileSink) SegmentPaths() []string {
+	var out []string
+	for i := 0; i < fs.segment; i++ {
+		out = append(out, fs.segmentPath(i))
+	}
+	if fs.f != nil {
+		out = append(out, fs.f.Name())
+	}
+	return out
+}
+
+func (fs *FileSink) segmentPath(i int) string {
+	return filepath.Join(fs.Dir, fmt.Sprintf("flows-%05d.jsonl.gz", i))
+}
+
+func (fs *FileSink) open() error {
+	if err := os.MkdirAll(fs.Dir, 0o755); err != nil {
+		return fmt.Errorf("sink: file dir: %w", err)
+	}
+	f, err := os.Create(fs.segmentPath(fs.segment))
+	if err != nil {
+		return fmt.Errorf("sink: file segment: %w", err)
+	}
+	fs.f = f
+	fs.zw = gzip.NewWriter(f)
+	fs.n = 0
+	return nil
+}
+
+func (fs *FileSink) compressedSize() int64 {
+	if fs.f == nil {
+		return 0
+	}
+	if st, err := fs.f.Stat(); err == nil {
+		fs.n = st.Size()
+	}
+	return fs.n
+}
+
+func (fs *FileSink) closeSegment() error {
+	if fs.zw == nil {
+		return nil
+	}
+	zerr := fs.zw.Close()
+	ferr := fs.f.Close()
+	fs.zw, fs.f = nil, nil
+	fs.segment++
+	if zerr != nil {
+		return fmt.Errorf("sink: file segment close: %w", zerr)
+	}
+	if ferr != nil {
+		return fmt.Errorf("sink: file segment close: %w", ferr)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package sink
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Doer is the slice of *http.Client the HTTP sink needs; tests inject
+// stub transports through it.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// HTTPSink bulk-indexes batches as NDJSON POSTs, the shape Elastic-style
+// bulk endpoints and plain collectors both accept. Transient failures
+// (network errors, 5xx) retry with doubling backoff up to MaxRetries;
+// a 4xx is permanent — the payload will not get better — and fails the
+// batch immediately so the exporter's breaker sees it.
+type HTTPSink struct {
+	// URL receives the POSTs.
+	URL string
+	// Client defaults to a *http.Client with a 10s timeout.
+	Client Doer
+	// MaxRetries is the number of re-sends after the first attempt
+	// (default 3).
+	MaxRetries int
+	// Backoff is the first retry's sleep, doubling per retry (default
+	// 50ms). Retries sleep on the wall clock: they happen on the sink's
+	// dispatcher goroutine, which is invisible to the virtual clock.
+	Backoff time.Duration
+	// Sleep is swappable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// NewHTTPSink returns an HTTP bulk sink posting to url with defaults.
+func NewHTTPSink(url string) *HTTPSink {
+	return &HTTPSink{URL: url}
+}
+
+// Name implements Publisher.
+func (h *HTTPSink) Name() string { return "http" }
+
+// Publish implements Publisher: one NDJSON POST per batch, retried on
+// transient failure.
+func (h *HTTPSink) Publish(batch []Envelope) error {
+	body, err := EncodeNDJSON(batch)
+	if err != nil {
+		return err
+	}
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	sleep := h.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	retries := h.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := h.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = h.post(client, body)
+		if lastErr == nil {
+			return nil
+		}
+		var perm *permanentError
+		if ok := asPermanent(lastErr, &perm); ok {
+			return perm.err
+		}
+		if attempt >= retries {
+			return fmt.Errorf("sink: http publish failed after %d attempts: %w", attempt+1, lastErr)
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (h *HTTPSink) post(client Doer, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, h.URL, bytes.NewReader(body))
+	if err != nil {
+		return &permanentError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return &permanentError{err: fmt.Errorf("sink: http publish rejected: %s", resp.Status)}
+	default:
+		return fmt.Errorf("sink: http publish: %s", resp.Status)
+	}
+}
+
+// Close implements Publisher; the HTTP sink holds no resources.
+func (h *HTTPSink) Close() error { return nil }
+
+// permanentError wraps a failure retrying cannot fix (4xx, bad request
+// construction).
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+
+func asPermanent(err error, out **permanentError) bool {
+	p, ok := err.(*permanentError)
+	if ok {
+		*out = p
+	}
+	return ok
+}

@@ -1,0 +1,138 @@
+package sink
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"panoptes/internal/capture"
+)
+
+// MemorySink keeps everything published to it, for tests and benches.
+// Delay simulates a slow backend (the sink-throughput bench uses it to
+// force queue pressure); Fail makes the next publishes fail to drive a
+// breaker open.
+type MemorySink struct {
+	// NameTag is the sink name (default "mem") so tests can register
+	// several memory sinks side by side.
+	NameTag string
+	// Delay is slept (wall clock, on the dispatcher goroutine) before
+	// each publish is accepted.
+	Delay time.Duration
+
+	mu      sync.Mutex
+	fail    int
+	batches [][]Envelope
+	flows   []*capture.Flow
+	deltas  map[string]json.RawMessage
+	closed  bool
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink {
+	return &MemorySink{deltas: make(map[string]json.RawMessage)}
+}
+
+// Name implements Publisher.
+func (m *MemorySink) Name() string {
+	if m.NameTag != "" {
+		return m.NameTag
+	}
+	return "mem"
+}
+
+// FailNext makes the next n publishes return an error.
+func (m *MemorySink) FailNext(n int) {
+	m.mu.Lock()
+	m.fail = n
+	m.mu.Unlock()
+}
+
+// Publish implements Publisher.
+func (m *MemorySink) Publish(batch []Envelope) error {
+	if m.Delay > 0 {
+		time.Sleep(m.Delay)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail > 0 {
+		m.fail--
+		return errInjectedFailure
+	}
+	cp := make([]Envelope, len(batch))
+	copy(cp, batch)
+	m.batches = append(m.batches, cp)
+	for _, env := range cp {
+		switch env.Type {
+		case TypeFlow:
+			m.flows = append(m.flows, env.Flow)
+		case TypeDelta:
+			if m.deltas == nil {
+				m.deltas = make(map[string]json.RawMessage)
+			}
+			m.deltas[env.Analyzer] = env.Payload
+		}
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (m *MemorySink) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return nil
+}
+
+// Closed reports whether Close ran.
+func (m *MemorySink) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Batches returns the published batches in arrival order.
+func (m *MemorySink) Batches() [][]Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]Envelope, len(m.batches))
+	copy(out, m.batches)
+	return out
+}
+
+// Flows returns every published flow in export order.
+func (m *MemorySink) Flows() []*capture.Flow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*capture.Flow, len(m.flows))
+	copy(out, m.flows)
+	return out
+}
+
+// FlowIDs returns the set of published flow IDs.
+func (m *MemorySink) FlowIDs() map[int64]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make(map[int64]bool, len(m.flows))
+	for _, f := range m.flows {
+		ids[f.ID] = true
+	}
+	return ids
+}
+
+// Deltas returns the analyzer deltas received, keyed by analyzer name.
+func (m *MemorySink) Deltas() map[string]json.RawMessage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]json.RawMessage, len(m.deltas))
+	for k, v := range m.deltas {
+		out[k] = v
+	}
+	return out
+}
+
+type injectedFailure struct{}
+
+func (injectedFailure) Error() string { return "sink: injected memory-sink failure" }
+
+var errInjectedFailure = injectedFailure{}

@@ -1,0 +1,41 @@
+package sink
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSpecs builds publishers from a -sink flag value: a comma-joined
+// list of sink specs — "http:URL" (NDJSON bulk POST), "file:DIR"
+// (rotating gzip JSONL segments), "mem" (in-memory, for smoke runs).
+// An empty value means no sinks.
+func ParseSpecs(specs string) ([]Publisher, error) {
+	var out []Publisher
+	for _, item := range strings.Split(specs, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, arg, _ := strings.Cut(item, ":")
+		switch kind {
+		case "http":
+			if arg == "" {
+				return nil, fmt.Errorf("sink: http spec needs a URL (http:URL)")
+			}
+			out = append(out, NewHTTPSink(arg))
+		case "file":
+			if arg == "" {
+				return nil, fmt.Errorf("sink: file spec needs a directory (file:DIR)")
+			}
+			out = append(out, NewFileSink(arg))
+		case "mem":
+			if arg != "" {
+				return nil, fmt.Errorf("sink: mem spec takes no argument")
+			}
+			out = append(out, NewMemorySink())
+		default:
+			return nil, fmt.Errorf("sink: unknown sink spec %q (want http:URL, file:DIR or mem)", item)
+		}
+	}
+	return out, nil
+}

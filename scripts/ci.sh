@@ -36,6 +36,9 @@ go test -race ./internal/core/... ./internal/leak/... ./internal/pipeline/...
 echo "==> go test -race (match, pii: shared automaton + dictionary dispatch)"
 go test -race ./internal/match/... ./internal/pii/...
 
+echo "==> go test -race (sink, breaker: export dispatchers + shared breakers)"
+go test -race ./internal/sink/... ./internal/breaker/...
+
 echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
 # A seeded chaos campaign must complete with every browser intact and
 # every failed visit classified, and the determinism keystone must hold
@@ -50,22 +53,34 @@ echo "==> benchmark smoke: leak scan scaling + mitm body allocs"
 bench_out=$(go test -run '^$' -bench 'LeakScanScaling|MitmBodyAlloc' -benchmem -benchtime=1x \
     ./internal/leak/ ./internal/mitm/)
 echo "$bench_out"
-# Emit a machine-readable baseline (flows/sec and allocs/op per case) so
-# perf regressions show up as a diff against the committed BENCH_leakscan.json.
-echo "$bench_out" | awk '
+# Emit a machine-readable baseline so perf regressions show up as a
+# diff against the committed BENCH_*.json files. Only the metrics a
+# bench actually reported appear in its row (BenchmarkMitmBodyAlloc has
+# no flows/sec; earlier emitters wrote it as an empty string).
+emit_bench_json() {
+    awk -v pattern="$1" '
 BEGIN { print "[" ; first = 1 }
-/^Benchmark(LeakScanScaling|MitmBodyAlloc)/ {
-    name = $1
-    flows = ""; allocs = ""
+$0 ~ "^Benchmark(" pattern ")" {
+    row = "{\"bench\": \"" $1 "\""
     for (i = 2; i <= NF; i++) {
-        if ($(i) == "flows/sec") flows = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "flows/sec")        row = row ", \"flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "allocs/op")        row = row ", \"allocs_per_op\": \"" $(i - 1) "\""
+        if ($(i) == "peak_queue_depth") row = row ", \"peak_queue_depth\": \"" $(i - 1) "\""
     }
+    row = row "}"
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"bench\": \"%s\", \"flows_per_sec\": \"%s\", \"allocs_per_op\": \"%s\"}", name, flows, allocs
+    printf "  %s", row
 }
-END { print "\n]" }' > BENCH_leakscan.json
+END { print "\n]" }'
+}
+echo "$bench_out" | emit_bench_json "LeakScanScaling|MitmBodyAlloc" > BENCH_leakscan.json
 echo "wrote BENCH_leakscan.json"
+
+echo "==> benchmark smoke: sink throughput (flows/sec into a slow sink, queue bound, allocs/op)"
+sink_out=$(go test -run '^$' -bench SinkThroughput -benchmem -benchtime=1x ./internal/sink/)
+echo "$sink_out"
+echo "$sink_out" | emit_bench_json "SinkThroughput" > BENCH_sink.json
+echo "wrote BENCH_sink.json"
 
 echo "==> ci.sh: all checks passed"
