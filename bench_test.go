@@ -10,6 +10,7 @@ import (
 	"encoding/base64"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -594,13 +595,31 @@ func BenchmarkCrawlScaling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 			res, err := w.RunCampaign(core.CampaignConfig{Parallelism: parallelism})
 			if err != nil {
 				b.Fatal(err)
 			}
 			elapsed := time.Since(start).Seconds()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(len(res.Visits))/elapsed, "visits/sec")
 			b.ReportMetric(float64(w.DB.Engine.Len()+w.DB.Native.Len())/elapsed, "flows/sec")
+			if n := len(res.Visits); n > 0 {
+				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(n), "allocs/visit")
+			}
+			// Data-plane warmth: what fraction of the proxy's handshakes
+			// were TLS resumptions, and of its upstream exchanges rode a
+			// pooled connection.
+			cr, cf, ur, uf := w.Proxy.ResumptionStats()
+			if hs := cr + cf + ur + uf; hs > 0 {
+				b.ReportMetric(100*float64(cr+ur)/float64(hs), "handshake_resumed_pct")
+			}
+			reused, dialed := w.Proxy.ConnReuseStats()
+			if ex := reused + dialed; ex > 0 {
+				b.ReportMetric(100*float64(reused)/float64(ex), "conn_reuse_pct")
+			}
 			w.Close()
 		}
 	}
@@ -623,4 +642,16 @@ func BenchmarkCrawlScaling(b *testing.B) {
 			crawl(b, core.WorldConfig{Sites: 4, UpstreamRTT: benchRTT}, par)
 		})
 	}
+	// The cold ablation is the pre-reuse data plane: no upstream pool,
+	// no TLS session resumption, so every exchange pays the dial and
+	// handshake flights a warm connection skips. The warm/cold ratio at
+	// parallelism 8 is the headline data-plane speedup.
+	b.Run("cold/parallel=8", func(b *testing.B) {
+		crawl(b, core.WorldConfig{
+			Sites:            4,
+			UpstreamRTT:      benchRTT,
+			DisableKeepAlive: true,
+			DisableTLSResume: true,
+		}, 8)
+	})
 }

@@ -166,14 +166,16 @@ func statsLoop(every time.Duration, done <-chan struct{}) {
 func printStats() {
 	r := obs.Default
 	fmt.Fprintf(os.Stderr,
-		"mitmdump: stats: %d requests (%d https, %d http), %d bytes up / %d down, %d active conns, %d handshake failures\n",
+		"mitmdump: stats: %d requests (%d https, %d http), %d bytes up / %d down, %d active conns, %d handshake failures, %d resumed handshakes, %d reused conns\n",
 		int64(r.Sum("mitm_requests_total")),
 		r.Counter("mitm_requests_total", "scheme", "https").Value(),
 		r.Counter("mitm_requests_total", "scheme", "http").Value(),
 		r.Counter("mitm_bytes_total", "dir", "up").Value(),
 		r.Counter("mitm_bytes_total", "dir", "down").Value(),
 		int64(r.Gauge("mitm_active_conns").Value()),
-		r.Counter("mitm_handshakes_total", "result", "fail").Value())
+		r.Counter("mitm_handshakes_total", "result", "fail").Value(),
+		int64(r.Sum("mitm_handshake_resumed_total")),
+		r.Counter("mitm_conn_reuse_total", "result", "reused").Value())
 }
 
 // printAddon logs each completed flow to stdout.

@@ -69,6 +69,10 @@ type Options struct {
 	ControlIP net.IP
 	// ControlPort for the DevTools listener.
 	ControlPort int
+	// DisableTLSResume turns off client-side TLS session caching, so
+	// every connection pays a full handshake (ablation; pairs with the
+	// proxy's cold-handshake mode).
+	DisableTLSResume bool
 }
 
 // Browser is one emulated browser app instance.
@@ -329,7 +333,13 @@ func (b *Browser) buildClients() {
 		return b.dev.DialContext(ctx, b.Pkg.UID, addr)
 	}
 
+	// Session caches are created per launch, so a relaunched app starts
+	// with cold TLS state the way a restarted process would; while it
+	// runs, repeat connections resume instead of re-handshaking.
 	nativeTLS := baseTLS.Clone()
+	if !b.opts.DisableTLSResume {
+		nativeTLS.ClientSessionCache = tls.NewLRUClientSessionCache(64)
+	}
 	if len(pinned) > 0 {
 		nativeTLS.VerifyConnection = func(cs tls.ConnectionState) error {
 			if !pinned[cs.ServerName] {
@@ -357,8 +367,11 @@ func (b *Browser) buildClients() {
 			},
 			TLSClientConfig:     nativeTLS,
 			MaxIdleConnsPerHost: 4,
-			MaxIdleConns:        32,
-			IdleConnTimeout:     30 * time.Second,
+			// Native services talk to a handful of vendor hosts over and
+			// over; a roomy idle pool keeps those sessions warm instead of
+			// re-handshaking every telemetry beacon.
+			MaxIdleConns:    128,
+			IdleConnTimeout: 90 * time.Second,
 		},
 		Timeout: 30 * time.Second,
 	}
@@ -403,10 +416,14 @@ func (b *Browser) buildClients() {
 		return err
 	}
 
+	engineTLS := baseTLS.Clone()
+	if !b.opts.DisableTLSResume {
+		engineTLS.ClientSessionCache = tls.NewLRUClientSessionCache(64)
+	}
 	b.engine = webengine.New(webengine.Config{
 		UserAgent: b.Profile.UserAgent(),
 		Dial:      dial,
-		TLS:       baseTLS.Clone(),
+		TLS:       engineTLS,
 		Resolve:   resolve,
 	})
 	b.engine.SetInterceptor(b.interceptEngineRequest)

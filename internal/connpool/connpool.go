@@ -1,0 +1,267 @@
+// Package connpool is a keyed idle-connection pool for the MITM proxy's
+// upstream data plane. Each key (scheme + authority) owns a LIFO stack
+// of idle connections with their buffered readers attached — the reader
+// travels with the connection because bytes it buffered belong to that
+// connection's stream. Entries are stamped with the pool clock (the
+// virtual clock inside the testbed) and aged out on Get, so a pool
+// running under a fast-forwarding simulation evicts exactly as a
+// wall-clock pool would under real time.
+//
+// The pool never dials: a Get miss tells the caller to dial, and Put
+// offers the connection back after a clean exchange. A fault hook
+// (faultsim.Injector.PoolFault) can poison a key, dropping its idle
+// connections so the caller redials — the chaos stand-in for a NAT or
+// middlebox silently killing pooled connections.
+package connpool
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"panoptes/internal/obs"
+)
+
+func init() {
+	obs.Default.Help("connpool_get_total", "Idle-pool lookups by result (hit = reused connection, miss = caller must dial).")
+	obs.Default.Help("connpool_evicted_total", "Idle connections closed instead of reused, by reason (age, capacity, poison, close).")
+	obs.Default.Help("connpool_idle_conns", "Connections currently parked in each idle pool.")
+}
+
+// Entry is one pooled connection with its buffered read side.
+type Entry struct {
+	Conn net.Conn
+	R    *bufio.Reader
+
+	since time.Time
+}
+
+// Config sizes a Pool. The zero value takes every default.
+type Config struct {
+	// Name labels the pool's obs series (default "upstream").
+	Name string
+	// MaxPerKey bounds idle connections parked per key (default 8).
+	MaxPerKey int
+	// MaxIdle bounds idle connections across all keys (default 256).
+	MaxIdle int
+	// IdleAge evicts entries parked longer than this on the pool clock
+	// (default 2 minutes — generous against the virtual clock's
+	// seconds-per-visit advance, so reuse survives a crawl).
+	IdleAge time.Duration
+	// Now is the pool clock (default time.Now; the testbed passes the
+	// virtual clock).
+	Now func() time.Time
+}
+
+// Stats is a pool's lifetime accounting.
+type Stats struct {
+	Hits       int64 // Gets served from the pool
+	Misses     int64 // Gets the caller had to dial for
+	EvictedAge int64 // idle entries closed for age
+	EvictedCap int64 // offered entries refused for capacity
+	Poisoned   int64 // idle entries dropped by the fault hook
+	Idle       int   // entries currently parked
+}
+
+// Pool is a keyed idle-connection pool, safe for concurrent use.
+type Pool struct {
+	name      string
+	maxPerKey int
+	maxIdle   int
+	idleAge   time.Duration
+	now       func() time.Time
+
+	mu     sync.Mutex
+	idle   map[string][]Entry
+	total  int
+	closed bool
+
+	// fault, when set, is consulted on Get: a non-nil error poisons the
+	// key — its idle entries are dropped and the caller redials.
+	fault atomic.Pointer[func(key string) error]
+
+	hits, misses, evictedAge, evictedCap, poisoned atomic.Int64
+
+	obsHit, obsMiss                             *obs.Counter
+	obsEvAge, obsEvCap, obsEvPoison, obsEvClose *obs.Counter
+	obsIdle                                     *obs.Gauge
+}
+
+// New builds a pool.
+func New(cfg Config) *Pool {
+	if cfg.Name == "" {
+		cfg.Name = "upstream"
+	}
+	if cfg.MaxPerKey <= 0 {
+		cfg.MaxPerKey = 8
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = 256
+	}
+	if cfg.IdleAge <= 0 {
+		cfg.IdleAge = 2 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Pool{
+		name:        cfg.Name,
+		maxPerKey:   cfg.MaxPerKey,
+		maxIdle:     cfg.MaxIdle,
+		idleAge:     cfg.IdleAge,
+		now:         cfg.Now,
+		idle:        make(map[string][]Entry),
+		obsHit:      obs.Default.Counter("connpool_get_total", "pool", cfg.Name, "result", "hit"),
+		obsMiss:     obs.Default.Counter("connpool_get_total", "pool", cfg.Name, "result", "miss"),
+		obsEvAge:    obs.Default.Counter("connpool_evicted_total", "pool", cfg.Name, "reason", "age"),
+		obsEvCap:    obs.Default.Counter("connpool_evicted_total", "pool", cfg.Name, "reason", "capacity"),
+		obsEvPoison: obs.Default.Counter("connpool_evicted_total", "pool", cfg.Name, "reason", "poison"),
+		obsEvClose:  obs.Default.Counter("connpool_evicted_total", "pool", cfg.Name, "reason", "close"),
+		obsIdle:     obs.Default.Gauge("connpool_idle_conns", "pool", cfg.Name),
+	}
+}
+
+// SetFaultHook installs (or clears, with nil) the poison hook consulted
+// on every Get.
+func (p *Pool) SetFaultHook(fn func(key string) error) {
+	if fn == nil {
+		p.fault.Store(nil)
+		return
+	}
+	p.fault.Store(&fn)
+}
+
+// Get pops the most recently parked live connection for key. The second
+// return is false when the caller must dial: nothing parked, everything
+// aged out, or the key is poisoned.
+func (p *Pool) Get(key string) (Entry, bool) {
+	var poison func(string) error
+	if fn := p.fault.Load(); fn != nil {
+		poison = *fn
+	}
+	cutoff := p.now().Add(-p.idleAge)
+
+	p.mu.Lock()
+	stack := p.idle[key]
+	if len(stack) > 0 && poison != nil && poison(key) != nil {
+		// Poisoned: every idle connection for this key is silently dead.
+		p.drainLocked(key, stack)
+		p.mu.Unlock()
+		p.poisoned.Add(int64(len(stack)))
+		p.obsEvPoison.Add(int64(len(stack)))
+		p.misses.Add(1)
+		p.obsMiss.Inc()
+		return Entry{}, false
+	}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p.total--
+		if e.since.Before(cutoff) {
+			// LIFO order means everything under an aged entry is older
+			// still; drop the rest of the stack with it.
+			aged := int64(len(stack)) + 1
+			for _, old := range stack {
+				old.Conn.Close()
+			}
+			p.total -= len(stack)
+			stack = nil
+			p.setLocked(key, stack)
+			p.mu.Unlock()
+			e.Conn.Close()
+			p.evictedAge.Add(aged)
+			p.obsEvAge.Add(aged)
+			p.obsIdle.Add(-float64(aged))
+			p.misses.Add(1)
+			p.obsMiss.Inc()
+			return Entry{}, false
+		}
+		p.setLocked(key, stack)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		p.obsHit.Inc()
+		p.obsIdle.Dec()
+		return e, true
+	}
+	p.setLocked(key, stack)
+	p.mu.Unlock()
+	p.misses.Add(1)
+	p.obsMiss.Inc()
+	return Entry{}, false
+}
+
+// Put offers a connection back after a clean exchange. It reports
+// whether the pool kept it; on false the caller still owns (and should
+// close) the connection.
+func (p *Pool) Put(key string, conn net.Conn, r *bufio.Reader) bool {
+	p.mu.Lock()
+	if p.closed || p.total >= p.maxIdle || len(p.idle[key]) >= p.maxPerKey {
+		p.mu.Unlock()
+		p.evictedCap.Add(1)
+		p.obsEvCap.Inc()
+		return false
+	}
+	p.idle[key] = append(p.idle[key], Entry{Conn: conn, R: r, since: p.now()})
+	p.total++
+	p.mu.Unlock()
+	p.obsIdle.Inc()
+	return true
+}
+
+// CloseIdle closes every parked connection and refuses further Puts.
+func (p *Pool) CloseIdle() {
+	p.mu.Lock()
+	p.closed = true
+	var all []Entry
+	for _, stack := range p.idle {
+		all = append(all, stack...)
+	}
+	p.idle = make(map[string][]Entry)
+	n := p.total
+	p.total = 0
+	p.mu.Unlock()
+	for _, e := range all {
+		e.Conn.Close()
+	}
+	if n > 0 {
+		p.obsEvClose.Add(int64(n))
+		p.obsIdle.Add(-float64(n))
+	}
+}
+
+// Stats returns lifetime accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	idle := p.total
+	p.mu.Unlock()
+	return Stats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		EvictedAge: p.evictedAge.Load(),
+		EvictedCap: p.evictedCap.Load(),
+		Poisoned:   p.poisoned.Load(),
+		Idle:       idle,
+	}
+}
+
+// drainLocked closes and forgets a key's whole stack. Callers hold p.mu
+// and account the eviction reason themselves.
+func (p *Pool) drainLocked(key string, stack []Entry) {
+	for _, e := range stack {
+		e.Conn.Close()
+	}
+	p.total -= len(stack)
+	delete(p.idle, key)
+	p.obsIdle.Add(-float64(len(stack)))
+}
+
+// setLocked stores a (possibly emptied) stack back under key.
+func (p *Pool) setLocked(key string, stack []Entry) {
+	if len(stack) == 0 {
+		delete(p.idle, key)
+		return
+	}
+	p.idle[key] = stack
+}

@@ -23,6 +23,7 @@ func (c *idleCollector) Observe(f *capture.Flow) {
 	if f.Origin != capture.OriginNative || f.BrowserUID != c.uid {
 		return
 	}
+	f.Ref() // the collector outlives the exchange that produced the flow
 	c.mu.Lock()
 	c.flows = append(c.flows, f)
 	c.mu.Unlock()

@@ -48,6 +48,12 @@ type WorldConfig struct {
 	// DisableCertCache / DisableKeepAlive feed the proxy ablations.
 	DisableCertCache bool
 	DisableKeepAlive bool
+	// DisableTLSResume turns off TLS session resumption everywhere:
+	// the proxy stops issuing session tickets and caching upstream
+	// sessions, and browsers drop their client session caches. Every
+	// connection then pays a full handshake — the cold path the
+	// determinism suite compares resumed campaigns against.
+	DisableTLSResume bool
 	// UpstreamRTT models wall-clock wide-area latency on every proxied
 	// exchange (see mitm.Config.UpstreamRTT). Zero — the default, and
 	// what every test uses — keeps the instant in-memory network.
@@ -221,6 +227,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Now:              clock.Now,
 		DisableCertCache: cfg.DisableCertCache,
 		DisableKeepAlive: cfg.DisableKeepAlive,
+		DisableTLSResume: cfg.DisableTLSResume,
 		UpstreamRTT:      cfg.UpstreamRTT,
 		Trace:            w.Trace,
 	})
@@ -254,12 +261,13 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	// Build the browsers, each with its own control address for CDP.
 	for i, p := range cfg.Profiles {
 		b := browser.New(p, browser.Options{
-			Device:      dev,
-			Clock:       clock,
-			PublicRoots: publicCA.Pool(),
-			FridaDevice: w.FridaDev,
-			ControlIP:   net.IPv4(10, 222, 0, byte(i+1)),
-			ControlPort: 9222,
+			Device:           dev,
+			Clock:            clock,
+			PublicRoots:      publicCA.Pool(),
+			FridaDevice:      w.FridaDev,
+			ControlIP:        net.IPv4(10, 222, 0, byte(i+1)),
+			ControlPort:      9222,
+			DisableTLSResume: cfg.DisableTLSResume,
 		})
 		w.Browsers[p.Name] = b
 		w.Visits.SetBrowser(b.UID(), p.Name)

@@ -56,6 +56,7 @@ const (
 	BrowserCrash Kind = "browser_crash" // app process dies on navigate
 	CDPStall     Kind = "cdp_stall"     // DevTools socket stops answering
 	SinkPublish  Kind = "sink_publish"  // export batch publish fails (chaos-only)
+	PoolPoison   Kind = "pool_poison"   // upstream idle conns silently die (chaos-only)
 )
 
 // ArmedKinds participate in the deterministic per-attempt arming model, in
@@ -408,6 +409,20 @@ func (inj *Injector) SinkFault(sinkName string) error {
 		return nil
 	}
 	return markInjected(SinkPublish, fmt.Errorf("faultsim: injected publish failure for sink %s", sinkName))
+}
+
+// PoolFault is the upstream idle-pool poison (connpool.Pool.SetFaultHook):
+// a hit drops every idle connection for the key, forcing a redial. It runs
+// in chaos occurrence mode — a redial produces the same exchange bytes, so
+// analyses are unaffected and per-attempt arming does not apply.
+func (inj *Injector) PoolFault(key string) error {
+	if inj == nil {
+		return nil
+	}
+	if !inj.chaosHit(PoolPoison, key) {
+		return nil
+	}
+	return markInjected(PoolPoison, fmt.Errorf("faultsim: injected pool poison for %s", key))
 }
 
 // Counts returns a copy of the injected-fault tally by kind.

@@ -13,9 +13,10 @@ import (
 // BenchmarkMitmBodyAlloc measures the steady-state allocation cost of
 // the two body-handling hot paths. Pre-diet, buildFlow made three
 // body-sized copies per request (io.ReadAll growth, the capped capture
-// copy, and a string conversion for the replay reader) and
-// writeResponse two more; with the pooled buffers each exchange is down
-// to the one exact-size allocation that must outlive the call.
+// copy, and a string conversion for the replay reader) plus a fresh
+// Flow, header map and header-value slices every exchange; with the
+// recycled Flow pool and pooled buffers the steady state is down to the
+// replay reader pair and one header-value backing array.
 func BenchmarkMitmBodyAlloc(b *testing.B) {
 	u, _ := url.Parse("https://dest.test/submit?v=1")
 	now := func() time.Time { return time.Unix(1700000000, 0) }
@@ -30,24 +31,27 @@ func BenchmarkMitmBodyAlloc(b *testing.B) {
 					Method: "POST", URL: u, Header: http.Header{},
 					Body: io.NopCloser(bytes.NewReader(payload)), ContentLength: int64(size),
 				}
-				f := p.buildFlow(req, "https", "dest.test", 7)
+				f, buf := p.buildFlow(req, "https", "dest.test", 7)
 				if f.ReqBytes < size {
 					b.Fatalf("short read: %d", f.ReqBytes)
 				}
+				if buf != nil {
+					bodyPool.Put(buf)
+				}
+				f.Release()
 			}
 		})
 		b.Run(fmt.Sprintf("writeResponse/body=%d", size), func(b *testing.B) {
 			p := &Proxy{Now: now}
 			b.SetBytes(int64(size))
 			b.ReportAllocs()
+			resp := &http.Response{
+				StatusCode:    200,
+				Header:        http.Header{"Content-Type": {"application/json"}},
+				ContentLength: int64(size),
+			}
 			for i := 0; i < b.N; i++ {
-				resp := &http.Response{
-					StatusCode:    200,
-					Header:        http.Header{"Content-Type": {"application/json"}},
-					Body:          io.NopCloser(bytes.NewReader(payload)),
-					ContentLength: int64(size),
-				}
-				if _, err := p.writeResponse(io.Discard, resp); err != nil {
+				if _, err := p.writeResponse(io.Discard, resp, payload); err != nil {
 					b.Fatal(err)
 				}
 			}

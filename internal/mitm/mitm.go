@@ -10,12 +10,19 @@
 // Apps that pin their vendor's key reject the minted certificate and the
 // flow never completes — the paper's footnote 3 behaviour, which the
 // proxy surfaces as a handshake-failure counter rather than hiding.
+//
+// The data plane is built for throughput: client-facing handshakes
+// resume via shared session-ticket keys, upstream dials resume via a
+// shared session cache and reuse pooled connections (internal/connpool),
+// flow records are reference-counted recycled structs
+// (capture.AcquireFlow), and Serve runs one accept goroutine per core.
 package mitm
 
 import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -23,12 +30,16 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"panoptes/internal/bytepool"
 	"panoptes/internal/capture"
+	"panoptes/internal/connpool"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/netsim"
 	"panoptes/internal/obs"
@@ -43,25 +54,31 @@ var bodyPool = bytepool.New("mitm_body", 4<<10, 64<<10, 1<<20)
 
 // Observability instruments the proxy hot paths against the default obs
 // registry. Counters are process-wide totals; per-proxy numbers stay
-// available through CertCacheStats/HandshakeFailures.
+// available through CertCacheStats/ResumptionStats/ConnReuseStats.
 var (
-	mHandshakeOK   = obs.Default.Counter("mitm_handshakes_total", "result", "ok")
-	mHandshakeFail = obs.Default.Counter("mitm_handshakes_total", "result", "fail")
-	mCertHit       = obs.Default.Counter("mitm_cert_cache_total", "result", "hit")
-	mCertMiss      = obs.Default.Counter("mitm_cert_cache_total", "result", "miss")
-	mPinningFail   = obs.Default.Counter("mitm_pinning_failures_total")
-	mReqHTTP       = obs.Default.Counter("mitm_requests_total", "scheme", "http")
-	mReqHTTPS      = obs.Default.Counter("mitm_requests_total", "scheme", "https")
-	mVetoed        = obs.Default.Counter("mitm_vetoed_total")
-	mUpstreamErr   = obs.Default.Counter("mitm_upstream_errors_total")
-	mBytesUp       = obs.Default.Counter("mitm_bytes_total", "dir", "up")
-	mBytesDown     = obs.Default.Counter("mitm_bytes_total", "dir", "down")
-	mActiveConns   = obs.Default.Gauge("mitm_active_conns")
-	mReqLatency    = obs.Default.Histogram("mitm_request_duration_seconds", nil)
+	mHandshakeOK     = obs.Default.Counter("mitm_handshakes_total", "result", "ok")
+	mHandshakeFail   = obs.Default.Counter("mitm_handshakes_total", "result", "fail")
+	mHsResumedClient = obs.Default.Counter("mitm_handshake_resumed_total", "side", "client")
+	mHsResumedUp     = obs.Default.Counter("mitm_handshake_resumed_total", "side", "upstream")
+	mConnReused      = obs.Default.Counter("mitm_conn_reuse_total", "result", "reused")
+	mConnDialed      = obs.Default.Counter("mitm_conn_reuse_total", "result", "dialed")
+	mCertHit         = obs.Default.Counter("mitm_cert_cache_total", "result", "hit")
+	mCertMiss        = obs.Default.Counter("mitm_cert_cache_total", "result", "miss")
+	mPinningFail     = obs.Default.Counter("mitm_pinning_failures_total")
+	mReqHTTP         = obs.Default.Counter("mitm_requests_total", "scheme", "http")
+	mReqHTTPS        = obs.Default.Counter("mitm_requests_total", "scheme", "https")
+	mVetoed          = obs.Default.Counter("mitm_vetoed_total")
+	mUpstreamErr     = obs.Default.Counter("mitm_upstream_errors_total")
+	mBytesUp         = obs.Default.Counter("mitm_bytes_total", "dir", "up")
+	mBytesDown       = obs.Default.Counter("mitm_bytes_total", "dir", "down")
+	mActiveConns     = obs.Default.Gauge("mitm_active_conns")
+	mReqLatency      = obs.Default.Histogram("mitm_request_duration_seconds", nil)
 )
 
 func init() {
 	obs.Default.Help("mitm_handshakes_total", "Client-side TLS handshakes by result.")
+	obs.Default.Help("mitm_handshake_resumed_total", "TLS handshakes completed via session resumption, by side (client = intercepted app, upstream = real origin).")
+	obs.Default.Help("mitm_conn_reuse_total", "Upstream exchanges by connection source (reused = idle pool, dialed = fresh).")
 	obs.Default.Help("mitm_cert_cache_total", "Leaf-certificate cache lookups by result.")
 	obs.Default.Help("mitm_pinning_failures_total", "Handshakes rejected by certificate-pinning clients (paper footnote 3).")
 	obs.Default.Help("mitm_requests_total", "Intercepted HTTP exchanges by scheme.")
@@ -111,35 +128,57 @@ type Proxy struct {
 	// visit span of the owning browser UID.
 	Trace *obs.Tracer
 
+	// mu guards the cert cache/flight maps and addon appends; the hot
+	// accept/exchange paths read only atomics.
 	mu        sync.Mutex
-	addons    []Addon
+	addons    atomic.Pointer[[]Addon]
 	certCache map[string]*tls.Certificate
 	// certFlight dedupes concurrent cold-cache mints per host: the first
 	// handshake to miss becomes the minter, later ones wait on its call.
-	certFlight  map[string]*certCall
-	certMiss    int
-	certHit     int
-	hsFails     int
-	transport   *http.Transport
-	upstreamRTT time.Duration
-	closed      bool
-	faults      *faultsim.Injector
+	certFlight map[string]*certCall
+
+	certHit, certMiss, hsFails atomic.Int64
+	hsResumed, hsFull          atomic.Int64 // client-facing handshakes
+	upResumed, upFull          atomic.Int64 // upstream handshakes
+	connReused, connDialed     atomic.Int64 // upstream exchanges by conn source
+
+	// serverTLS is the client-facing config template. Its session-ticket
+	// keys are set once here so every per-connection clone shares them —
+	// without that, each clone mints its own keys and no ticket issued on
+	// one connection can ever resume on another.
+	serverTLS *tls.Config
+	// upstreamTLS is the upstream dial template; clones share its
+	// ClientSessionCache, so repeat dials to a host resume.
+	upstreamTLS *tls.Config
+	// pool parks idle upstream connections between exchanges (nil when
+	// keep-alive is disabled).
+	pool *connpool.Pool
+
+	upstreamRTT  time.Duration
+	acceptShards int
+	closed       atomic.Bool
+	faults       atomic.Pointer[faultsim.Injector]
 }
 
 // SetFaults installs (or clears, with nil) the fault injector consulted
-// before TLS handshakes (tls_handshake / pin_reject) and per proxied
-// exchange (read_timeout / stream_reset / http_5xx / slow_response).
+// before TLS handshakes (tls_handshake / pin_reject), per proxied
+// exchange (read_timeout / stream_reset / http_5xx / slow_response) and
+// on idle-pool lookups (pool_poison).
 func (p *Proxy) SetFaults(inj *faultsim.Injector) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.faults = inj
+	if inj == nil {
+		p.faults.Store(nil)
+		if p.pool != nil {
+			p.pool.SetFaultHook(nil)
+		}
+		return
+	}
+	p.faults.Store(inj)
+	if p.pool != nil {
+		p.pool.SetFaultHook(inj.PoolFault)
+	}
 }
 
-func (p *Proxy) faultsInj() *faultsim.Injector {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.faults
-}
+func (p *Proxy) faultsInj() *faultsim.Injector { return p.faults.Load() }
 
 // certCall is one in-flight leaf mint waiters block on.
 type certCall struct {
@@ -158,13 +197,23 @@ type Config struct {
 	DisableCertCache bool
 	// DisableKeepAlive turns off upstream connection reuse (ablation).
 	DisableKeepAlive bool
-	// UpstreamRTT models the wide-area round trip to the destination on
-	// the wall clock, one sleep per forwarded exchange. The in-memory
-	// Internet delivers bytes instantly, which leaves a simulated crawl
-	// purely CPU-bound — unlike the paper's testbed, where page loads
-	// wait on a real network and a concurrent scheduler wins by
-	// overlapping those waits. Zero (the default) keeps the instant
-	// network.
+	// DisableTLSResume turns off TLS session resumption on both sides of
+	// the interception path (ablation; the determinism suite compares
+	// resumed runs against this cold-handshake path).
+	DisableTLSResume bool
+	// AcceptShards overrides the accept-goroutine count in Serve
+	// (default: GOMAXPROCS).
+	AcceptShards int
+	// UpstreamRTT models wide-area latency to the destination on the
+	// wall clock, one sleep per network round trip: every forwarded
+	// exchange pays one (request out, response back), and a fresh
+	// upstream dial pays two more flights first (TCP connect, then the
+	// TLS handshake for https) — which a pooled connection skips
+	// entirely. The in-memory Internet delivers bytes instantly, which
+	// leaves a simulated crawl purely CPU-bound — unlike the paper's
+	// testbed, where page loads wait on a real network and connection
+	// reuse plus a concurrent scheduler win by eliding and overlapping
+	// those waits. Zero (the default) keeps the instant network.
 	UpstreamRTT time.Duration
 	// Trace receives per-exchange flow spans (may be nil).
 	Trace *obs.Tracer
@@ -179,77 +228,126 @@ func New(cfg Config) (*Proxy, error) {
 		cfg.Now = time.Now
 	}
 	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now, Trace: cfg.Trace,
-		upstreamRTT: cfg.UpstreamRTT}
+		upstreamRTT: cfg.UpstreamRTT, acceptShards: cfg.AcceptShards}
 	if !cfg.DisableCertCache {
 		p.certCache = make(map[string]*tls.Certificate)
 		p.certFlight = make(map[string]*certCall)
 	}
-	p.transport = &http.Transport{
-		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
-			return cfg.Dial(ctx, addr)
-		},
-		DialTLSContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
-			raw, err := cfg.Dial(ctx, addr)
-			if err != nil {
-				return nil, err
-			}
-			host, _, _ := net.SplitHostPort(addr)
-			var tcfg *tls.Config
-			if cfg.UpstreamRoots != nil {
-				tcfg = cfg.UpstreamRoots.Clone()
-			} else {
-				tcfg = &tls.Config{}
-			}
-			tcfg.ServerName = host
-			tc := tls.Client(raw, tcfg)
-			if err := tc.HandshakeContext(ctx); err != nil {
-				raw.Close()
-				return nil, fmt.Errorf("mitm: upstream handshake with %s: %w", addr, err)
-			}
-			return tc, nil
-		},
-		MaxIdleConns:        256,
-		MaxIdleConnsPerHost: 8,
-		IdleConnTimeout:     90 * time.Second,
-		DisableKeepAlives:   cfg.DisableKeepAlive,
-		ForceAttemptHTTP2:   false,
+	p.serverTLS = &tls.Config{}
+	if cfg.DisableTLSResume {
+		p.serverTLS.SessionTicketsDisabled = true
+	} else {
+		var key [32]byte
+		if _, err := rand.Read(key[:]); err != nil {
+			return nil, fmt.Errorf("mitm: session ticket key: %w", err)
+		}
+		p.serverTLS.SetSessionTicketKeys([][32]byte{key})
+	}
+	if cfg.UpstreamRoots != nil {
+		p.upstreamTLS = cfg.UpstreamRoots.Clone()
+	} else {
+		p.upstreamTLS = &tls.Config{}
+	}
+	if !cfg.DisableTLSResume {
+		p.upstreamTLS.ClientSessionCache = tls.NewLRUClientSessionCache(256)
+	}
+	if !cfg.DisableKeepAlive {
+		p.pool = connpool.New(connpool.Config{Name: "mitm_upstream", Now: cfg.Now})
 	}
 	return p, nil
 }
 
-// Use appends an addon to the chain.
+// Use appends an addon to the chain. The chain is copy-on-write: the
+// exchange hot path loads it with one atomic read.
 func (p *Proxy) Use(a Addon) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.addons = append(p.addons, a)
+	var list []Addon
+	if old := p.addons.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, a)
+	p.addons.Store(&list)
+}
+
+func (p *Proxy) addonList() []Addon {
+	if l := p.addons.Load(); l != nil {
+		return *l
+	}
+	return nil
 }
 
 // CertCacheStats reports leaf-cache hits and misses (mints).
 func (p *Proxy) CertCacheStats() (hits, misses int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.certHit, p.certMiss
+	return int(p.certHit.Load()), int(p.certMiss.Load())
 }
 
 // HandshakeFailures counts client-side TLS handshakes that failed —
 // certificate-pinning apps rejecting the minted certificate show up here.
-func (p *Proxy) HandshakeFailures() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hsFails
+func (p *Proxy) HandshakeFailures() int { return int(p.hsFails.Load()) }
+
+// ResumptionStats reports TLS handshakes by side: client-facing
+// handshakes resumed via session tickets vs full, and upstream
+// handshakes resumed via the shared session cache vs full.
+func (p *Proxy) ResumptionStats() (clientResumed, clientFull, upstreamResumed, upstreamFull int64) {
+	return p.hsResumed.Load(), p.hsFull.Load(), p.upResumed.Load(), p.upFull.Load()
+}
+
+// ConnReuseStats reports upstream exchanges served over a pooled
+// connection vs a fresh dial.
+func (p *Proxy) ConnReuseStats() (reused, dialed int64) {
+	return p.connReused.Load(), p.connDialed.Load()
+}
+
+// PoolStats exposes the upstream idle-pool accounting (zero value when
+// keep-alive is disabled).
+func (p *Proxy) PoolStats() connpool.Stats {
+	if p.pool == nil {
+		return connpool.Stats{}
+	}
+	return p.pool.Stats()
 }
 
 // Close releases pooled upstream connections.
 func (p *Proxy) Close() {
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
-	p.transport.CloseIdleConnections()
+	p.closed.Store(true)
+	if p.pool != nil {
+		p.pool.CloseIdle()
+	}
 }
 
 // Serve accepts and handles diverted connections until the listener
-// closes.
+// closes. Accepting is sharded across one goroutine per core (override
+// with Config.AcceptShards), so a burst of parallel clients is not
+// serialised behind a single accept loop.
 func (p *Proxy) Serve(l net.Listener) error {
+	shards := p.acceptShards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards == 1 {
+		return p.acceptLoop(l)
+	}
+	errs := make(chan error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- p.acceptLoop(l)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Proxy) acceptLoop(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -326,29 +424,36 @@ func (p *Proxy) handleConn(client net.Conn) {
 
 	if first[0] == 0x16 { // TLS ClientHello
 		leafHost := host
-		// Armed TLS faults (tls_handshake, pin_reject) fail leaf minting so
-		// the client sees a fatal handshake alert, exactly like a pinning
-		// app slamming the door on the MITM certificate.
+		// Armed TLS faults (tls_handshake, pin_reject) abort the handshake
+		// with a fatal alert, exactly like a pinning app slamming the door
+		// on the MITM certificate. The fault fires from GetConfigForClient
+		// — which runs on every ClientHello — not from certificate
+		// minting, because a session-resuming handshake skips the
+		// Certificate message entirely and would sail past a minting
+		// failure.
 		faultKind, tlsFault := p.faultsInj().TLSFault(uid, host)
-		cfg := &tls.Config{
-			GetCertificate: func(chi *tls.ClientHelloInfo) (*tls.Certificate, error) {
+		cfg := p.serverTLS.Clone()
+		cfg.GetCertificate = func(chi *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			name := chi.ServerName
+			if name == "" {
+				name = leafHost
+			}
+			return p.leafFor(name)
+		}
+		if tlsFault {
+			cfg.GetConfigForClient = func(chi *tls.ClientHelloInfo) (*tls.Config, error) {
 				name := chi.ServerName
 				if name == "" {
 					name = leafHost
 				}
-				if tlsFault {
-					return nil, fmt.Errorf("mitm: injected %s for %s", faultKind, name)
-				}
-				return p.leafFor(name)
-			},
+				return nil, fmt.Errorf("mitm: injected %s for %s", faultKind, name)
+			}
 		}
 		hsSpan := p.Trace.Active(uid).Child("mitm.handshake")
 		hsSpan.SetAttr("host", host)
 		tc := tls.Server(&peekedConn{Conn: client, r: br}, cfg)
 		if err := tc.Handshake(); err != nil {
-			p.mu.Lock()
-			p.hsFails++
-			p.mu.Unlock()
+			p.hsFails.Add(1)
 			mHandshakeFail.Inc()
 			mPinningFail.Inc()
 			hsSpan.SetAttr("result", "fail")
@@ -356,6 +461,12 @@ func (p *Proxy) handleConn(client net.Conn) {
 			return
 		}
 		mHandshakeOK.Inc()
+		if tc.ConnectionState().DidResume {
+			p.hsResumed.Add(1)
+			mHsResumedClient.Inc()
+		} else {
+			p.hsFull.Add(1)
+		}
 		hsSpan.SetAttr("result", "ok")
 		hsSpan.End()
 		p.serveHTTP(bufio.NewReader(tc), tc, "https", host, port, uid)
@@ -400,12 +511,10 @@ func (pc *peekedConn) Read(b []byte) (int, error) { return pc.r.Read(b) }
 // singleflighted: one caller mints (a cache miss), the rest wait for it
 // and count as hits — they were served without a signing operation.
 func (p *Proxy) leafFor(host string) (*tls.Certificate, error) {
-	p.mu.Lock()
 	if p.certCache == nil {
 		// Cache-disabled ablation: no dedup either, every handshake pays
 		// the full mint — that per-mint cost is what the ablation measures.
-		p.certMiss++
-		p.mu.Unlock()
+		p.certMiss.Add(1)
 		mCertMiss.Inc()
 		cert, err := p.CA.Issue(host)
 		if err != nil {
@@ -413,23 +522,24 @@ func (p *Proxy) leafFor(host string) (*tls.Certificate, error) {
 		}
 		return &cert, nil
 	}
+	p.mu.Lock()
 	if c, ok := p.certCache[host]; ok {
-		p.certHit++
 		p.mu.Unlock()
+		p.certHit.Add(1)
 		mCertHit.Inc()
 		return c, nil
 	}
 	if call, ok := p.certFlight[host]; ok {
-		p.certHit++
 		p.mu.Unlock()
+		p.certHit.Add(1)
 		mCertHit.Inc()
 		<-call.done
 		return call.cert, call.err
 	}
 	call := &certCall{done: make(chan struct{})}
 	p.certFlight[host] = call
-	p.certMiss++
 	p.mu.Unlock()
+	p.certMiss.Add(1)
 	mCertMiss.Inc()
 
 	cert, err := p.CA.Issue(host)
@@ -478,12 +588,20 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 	sp.SetAttr("host", host)
 	sp.SetAttr("method", req.Method)
 
-	flow := p.buildFlow(req, scheme, host, uid)
+	flow, reqBody := p.buildFlow(req, scheme, host, uid)
+	// The producer reference: released when the exchange ends, after the
+	// last Status/RespBytes mutation. Every retainer that outlives the
+	// exchange (store shards, pending quarantine, export batches) holds
+	// its own reference by then.
+	defer flow.Release()
+	if reqBody != nil {
+		// The replay reader handed to forward aliases this buffer;
+		// recycle it only once the exchange is over.
+		defer bodyPool.Put(reqBody)
+	}
 	mBytesUp.Add(int64(flow.ReqBytes))
 
-	p.mu.Lock()
-	addons := append([]Addon(nil), p.addons...)
-	p.mu.Unlock()
+	addons := p.addonList()
 	splitSpan := sp.Child("taint.split")
 	for _, a := range addons {
 		a.Request(flow, req)
@@ -557,7 +675,7 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 	}
 
 	fwdSpan := sp.Child("mitm.forward")
-	resp, err := p.forward(req, scheme, host, port)
+	resp, respBody, err := p.forward(req, scheme, host, port)
 	fwdSpan.End()
 	if err != nil {
 		mUpstreamErr.Inc()
@@ -578,60 +696,102 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 		a.Response(flow, resp)
 	}
 
-	n, werr := p.writeResponse(client, resp)
+	n, werr := p.writeResponse(client, resp, respBody.Bytes())
+	bodyPool.Put(respBody)
 	flow.RespBytes = n
 	mBytesDown.Add(int64(n))
 	sp.SetAttr("status", fmt.Sprint(resp.StatusCode))
-	resp.Body.Close()
 	return werr == nil
 }
 
-// buildFlow populates a Flow from the parsed request, consuming and
-// re-buffering the body prefix.
-func (p *Proxy) buildFlow(req *http.Request, scheme, host string, uid int) *capture.Flow {
-	f := &capture.Flow{
-		ID:         capture.NextFlowID(),
-		Time:       p.Now(),
-		BrowserUID: uid,
-		Method:     req.Method,
-		Scheme:     scheme,
-		Host:       hostOnly(req, host),
-		Path:       req.URL.Path,
-		RawQuery:   req.URL.RawQuery,
-		Headers:    req.Header.Clone(),
-	}
+// buildFlow populates a pooled Flow from the parsed request, consuming
+// the body into a pooled scratch buffer and re-buffering it for replay.
+// The caller owns the flow's producer reference and must return the
+// scratch buffer (nil when the request has no body) to bodyPool after
+// the exchange — the replay reader aliases it.
+func (p *Proxy) buildFlow(req *http.Request, scheme, host string, uid int) (*capture.Flow, *bytes.Buffer) {
+	f := capture.AcquireFlow()
+	f.ID = capture.NextFlowID()
+	f.Time = p.Now()
+	f.BrowserUID = uid
+	f.Method = req.Method
+	f.Scheme = scheme
+	f.Host = hostOnly(req, host)
+	f.Path = req.URL.Path
+	f.RawQuery = req.URL.RawQuery
+	f.Headers = cloneHeaderInto(f.Headers, req.Header)
 
 	// Wire-size estimate: request line + headers + body.
-	size := len(req.Method) + len(req.URL.RequestURI()) + len("HTTP/1.1") + 4
+	size := len(req.Method) + requestURILen(req.URL) + len("HTTP/1.1") + 4
 	for k, vs := range req.Header {
 		for _, v := range vs {
 			size += len(k) + len(v) + 4
 		}
 	}
+	var bb *bytes.Buffer
 	if req.Body != nil && req.ContentLength != 0 {
-		// Read through a pooled scratch buffer, then make ONE exact-size
-		// allocation holding the replayable body. The old path allocated
-		// three times per request: io.ReadAll's growth chain, the capped
-		// f.Body copy, and a full string(body) copy for the re-buffered
-		// reader.
-		buf := bodyPool.Get(int(req.ContentLength))
-		_, _ = io.Copy(buf, io.LimitReader(req.Body, 10<<20))
+		bb = bodyPool.Get(int(req.ContentLength))
+		_, _ = io.Copy(bb, io.LimitReader(req.Body, 10<<20))
 		req.Body.Close()
-		body := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
-		bodyPool.Put(buf)
+		body := bb.Bytes()
 		size += len(body)
-		if len(body) > capture.MaxBodyCapture {
-			// Copy the capped prefix so the retained Flow does not pin
-			// the full-size backing array for the capture's lifetime.
-			f.Body = append([]byte(nil), body[:capture.MaxBodyCapture]...)
-		} else {
-			f.Body = body // small bodies share the exact-size allocation
+		capped := len(body)
+		if capped > capture.MaxBodyCapture {
+			capped = capture.MaxBodyCapture
 		}
+		f.Body = append(f.Body[:0], body[:capped]...)
 		req.Body = io.NopCloser(bytes.NewReader(body))
 		req.ContentLength = int64(len(body))
 	}
 	f.ReqBytes = size
-	return f
+	return f, bb
+}
+
+// requestURILen estimates the wire length of the request-URI without
+// materialising it (http.Request.RequestURI allocates).
+func requestURILen(u *url.URL) int {
+	if u.Opaque != "" {
+		return len(u.Opaque)
+	}
+	n := len(u.RawPath)
+	if n == 0 {
+		n = len(u.Path)
+	}
+	if n == 0 {
+		n = 1 // bare "/"
+	}
+	if u.ForceQuery || u.RawQuery != "" {
+		n += 1 + len(u.RawQuery)
+	}
+	return n
+}
+
+// cloneHeaderInto copies src into dst (reusing dst's map and making one
+// backing allocation for all values, like http.Header.Clone). dst may be
+// nil or hold stale keys from a recycled flow; it is returned cleared
+// and repopulated.
+func cloneHeaderInto(dst, src http.Header) http.Header {
+	if dst == nil {
+		dst = make(http.Header, len(src))
+	} else {
+		for k := range dst {
+			delete(dst, k)
+		}
+	}
+	n := 0
+	for _, vs := range src {
+		n += len(vs)
+	}
+	if n == 0 {
+		return dst
+	}
+	sv := make([]string, n)
+	for k, vs := range src {
+		m := copy(sv, vs)
+		dst[k] = sv[:m:m]
+		sv = sv[m:]
+	}
+	return dst
 }
 
 func hostOnly(req *http.Request, fallback string) string {
@@ -647,59 +807,223 @@ func hostOnly(req *http.Request, fallback string) string {
 	return h
 }
 
-// forward sends the request upstream and returns the response.
-func (p *Proxy) forward(req *http.Request, scheme, host, port string) (*http.Response, error) {
-	outURL := *req.URL
-	outURL.Scheme = scheme
-	outURL.Host = req.Host
-	if outURL.Host == "" {
-		outURL.Host = net.JoinHostPort(host, port)
-	} else if !strings.Contains(outURL.Host, ":") && !isDefaultPort(scheme, port) {
-		outURL.Host = net.JoinHostPort(outURL.Host, port)
+// forward sends the request upstream over a pooled or freshly dialed
+// connection and returns the parsed response with its body fully read
+// into a pooled buffer (resp.Body replays it). The caller returns the
+// buffer to bodyPool once the response is written out.
+func (p *Proxy) forward(req *http.Request, scheme, host, port string) (*http.Response, *bytes.Buffer, error) {
+	authority := req.Host
+	if authority == "" {
+		authority = net.JoinHostPort(host, port)
+	} else if !strings.Contains(authority, ":") && !isDefaultPort(scheme, port) {
+		authority = net.JoinHostPort(authority, port)
+	}
+	dialAddr := authority
+	if !strings.Contains(dialAddr, ":") {
+		if scheme == "https" {
+			dialAddr += ":443"
+		} else {
+			dialAddr += ":80"
+		}
 	}
 
-	out, err := http.NewRequest(req.Method, outURL.String(), req.Body)
-	if err != nil {
-		return nil, fmt.Errorf("mitm: build upstream request: %w", err)
-	}
-	out.Header = req.Header.Clone()
-	out.Header.Del("Proxy-Connection")
-	out.ContentLength = req.ContentLength
+	// Serialise the whole request once; a retry rewrites the same bytes.
+	wb := bodyPool.Get(512)
+	defer bodyPool.Put(wb)
+	writeRequest(wb, req, authority)
+
 	if p.upstreamRTT > 0 {
 		time.Sleep(p.upstreamRTT)
 	}
-	resp, err := p.transport.RoundTrip(out)
-	if err != nil {
-		return nil, fmt.Errorf("mitm: upstream %s: %w", outURL.Host, err)
+
+	key := scheme + "|" + dialAddr
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		var pc connpool.Entry
+		reused := false
+		if p.pool != nil && attempt == 0 {
+			pc, reused = p.pool.Get(key)
+		}
+		if reused {
+			p.connReused.Add(1)
+			mConnReused.Inc()
+		} else {
+			conn, err := p.dialUpstream(scheme, dialAddr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mitm: upstream %s: %w", authority, err)
+			}
+			p.connDialed.Add(1)
+			mConnDialed.Inc()
+			pc = connpool.Entry{Conn: conn, R: bufio.NewReader(conn)}
+		}
+		resp, bb, err := p.exchange(pc, key, wb.Bytes(), req)
+		if err != nil {
+			if reused {
+				// A pooled connection can die between exchanges (origin
+				// idle timeout, injected pool poison): retry once on a
+				// fresh dial before reporting the origin unreachable.
+				lastErr = err
+				continue
+			}
+			return nil, nil, fmt.Errorf("mitm: upstream %s: %w", authority, err)
+		}
+		return resp, bb, nil
 	}
-	return resp, nil
+	return nil, nil, fmt.Errorf("mitm: upstream %s: %w", authority, lastErr)
+}
+
+// exchange performs one write-request/read-response round trip on pc,
+// returning the connection to the pool when the response permits reuse.
+func (p *Proxy) exchange(pc connpool.Entry, key string, raw []byte, req *http.Request) (*http.Response, *bytes.Buffer, error) {
+	if _, err := pc.Conn.Write(raw); err != nil {
+		pc.Conn.Close()
+		return nil, nil, err
+	}
+	resp, err := http.ReadResponse(pc.R, req)
+	if err != nil {
+		pc.Conn.Close()
+		return nil, nil, err
+	}
+	bb := bodyPool.Get(int(resp.ContentLength))
+	if _, err := io.Copy(bb, io.LimitReader(resp.Body, 64<<20)); err != nil {
+		bodyPool.Put(bb)
+		pc.Conn.Close()
+		return nil, nil, fmt.Errorf("read body: %w", err)
+	}
+	resp.Body.Close()
+	if p.pool != nil && !resp.Close && resp.ProtoAtLeast(1, 1) {
+		if !p.pool.Put(key, pc.Conn, pc.R) {
+			pc.Conn.Close()
+		}
+	} else {
+		pc.Conn.Close()
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(bb.Bytes()))
+	return resp, bb, nil
+}
+
+// dialUpstream opens (and, for https, handshakes) a fresh upstream
+// connection. The upstream TLS template carries a shared session cache,
+// so repeat dials to a host resume instead of re-handshaking.
+func (p *Proxy) dialUpstream(scheme, addr string) (net.Conn, error) {
+	if p.upstreamRTT > 0 {
+		time.Sleep(p.upstreamRTT) // TCP connect flight
+	}
+	raw, err := p.Dial(context.Background(), addr)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != "https" {
+		return raw, nil
+	}
+	host, _, _ := net.SplitHostPort(addr)
+	tcfg := p.upstreamTLS.Clone()
+	tcfg.ServerName = host
+	tc := tls.Client(raw, tcfg)
+	if p.upstreamRTT > 0 {
+		time.Sleep(p.upstreamRTT) // TLS handshake flight (1-RTT, full or resumed)
+	}
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("handshake with %s: %w", addr, err)
+	}
+	if tc.ConnectionState().DidResume {
+		p.upResumed.Add(1)
+		mHsResumedUp.Inc()
+	} else {
+		p.upFull.Add(1)
+	}
+	return tc, nil
+}
+
+// writeRequest serialises req into buf as an origin-form HTTP/1.1
+// request. Hop-by-hop headers are dropped — the upstream connection's
+// keep-alive is the pool's business, not the client's — and Host and
+// Content-Length are owned by the proxy. The body (re-buffered by
+// buildFlow) is drained from the replay reader into buf.
+func writeRequest(buf *bytes.Buffer, req *http.Request, authority string) {
+	buf.WriteString(req.Method)
+	buf.WriteByte(' ')
+	if req.URL.Opaque != "" {
+		buf.WriteString(req.URL.Opaque)
+	} else {
+		path := req.URL.EscapedPath()
+		if path == "" {
+			path = "/"
+		}
+		buf.WriteString(path)
+		if req.URL.ForceQuery || req.URL.RawQuery != "" {
+			buf.WriteByte('?')
+			buf.WriteString(req.URL.RawQuery)
+		}
+	}
+	buf.WriteString(" HTTP/1.1\r\nHost: ")
+	buf.WriteString(authority)
+	buf.WriteString("\r\n")
+	for k, vs := range req.Header {
+		if hopByHop(k) || k == "Host" || k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			buf.WriteString(k)
+			buf.WriteString(": ")
+			buf.WriteString(v)
+			buf.WriteString("\r\n")
+		}
+	}
+	if req.Body != nil && req.ContentLength > 0 {
+		var tmp [20]byte
+		buf.WriteString("Content-Length: ")
+		buf.Write(strconv.AppendInt(tmp[:0], req.ContentLength, 10))
+		buf.WriteString("\r\n\r\n")
+		_, _ = io.Copy(buf, req.Body)
+		req.Body.Close()
+	} else {
+		buf.WriteString("\r\n")
+	}
+}
+
+// hopByHop reports whether a canonical header name is connection-scoped
+// (RFC 7230 §6.1) and must not travel across the proxy.
+func hopByHop(k string) bool {
+	switch k {
+	case "Connection", "Proxy-Connection", "Keep-Alive", "Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
 }
 
 func isDefaultPort(scheme, port string) bool {
 	return (scheme == "http" && port == "80") || (scheme == "https" && port == "443")
 }
 
-// writeResponse serialises the upstream response to the client and
-// returns the approximate byte count written.
-func (p *Proxy) writeResponse(w io.Writer, resp *http.Response) (int, error) {
-	// Both the body and the serialised head live in pooled buffers for
-	// the duration of the write; neither escapes.
-	bb := bodyPool.Get(int(resp.ContentLength))
-	defer bodyPool.Put(bb)
-	if _, err := io.Copy(bb, io.LimitReader(resp.Body, 64<<20)); err != nil {
-		return 0, fmt.Errorf("mitm: read upstream body: %w", err)
-	}
-	body := bb.Bytes()
+// writeResponse serialises the response head and the already-read body
+// to the client, returning the byte count written. Headers go out in
+// map order — the count (what flow.RespBytes records) is
+// order-independent, so flows stay deterministic.
+func (p *Proxy) writeResponse(w io.Writer, resp *http.Response, body []byte) (int, error) {
 	hb := bodyPool.Get(512)
 	defer bodyPool.Put(hb)
-	fmt.Fprintf(hb, "HTTP/1.1 %03d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
-	hdr := resp.Header.Clone()
-	hdr.Del("Transfer-Encoding")
-	hdr.Set("Content-Length", fmt.Sprint(len(body)))
-	if err := hdr.Write(hb); err != nil {
-		return 0, err
-	}
+	var tmp [20]byte
+	hb.WriteString("HTTP/1.1 ")
+	hb.Write(strconv.AppendInt(tmp[:0], int64(resp.StatusCode), 10))
+	hb.WriteByte(' ')
+	hb.WriteString(http.StatusText(resp.StatusCode))
 	hb.WriteString("\r\n")
+	for k, vs := range resp.Header {
+		if k == "Content-Length" || hopByHop(k) {
+			continue
+		}
+		for _, v := range vs {
+			hb.WriteString(k)
+			hb.WriteString(": ")
+			hb.WriteString(v)
+			hb.WriteString("\r\n")
+		}
+	}
+	hb.WriteString("Content-Length: ")
+	hb.Write(strconv.AppendInt(tmp[:0], int64(len(body)), 10))
+	hb.WriteString("\r\n\r\n")
 	headLen := hb.Len()
 	if _, err := w.Write(hb.Bytes()); err != nil {
 		return 0, err

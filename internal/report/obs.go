@@ -64,6 +64,18 @@ func CampaignObsSummary(w io.Writer, r *obs.Registry) {
 	fmt.Fprintln(w, "Campaign observability summary")
 	fmt.Fprintf(w, "  cert-cache hit rate    %5.1f%% (%d hits, %d misses)\n", rate, int64(hits), int64(misses))
 
+	resClient := r.Counter("mitm_handshake_resumed_total", "side", "client").Value()
+	resUp := r.Counter("mitm_handshake_resumed_total", "side", "upstream").Value()
+	if resClient+resUp > 0 {
+		fmt.Fprintf(w, "  resumed handshakes     %d client / %d upstream\n", resClient, resUp)
+	}
+	reused := float64(r.Counter("mitm_conn_reuse_total", "result", "reused").Value())
+	dialed := float64(r.Counter("mitm_conn_reuse_total", "result", "dialed").Value())
+	if reused+dialed > 0 {
+		fmt.Fprintf(w, "  upstream conn reuse    %5.1f%% (%d reused, %d dialed)\n",
+			100*reused/(reused+dialed), int64(reused), int64(dialed))
+	}
+
 	vh := r.Histogram("core_visit_duration_seconds", nil)
 	if vh.Count() > 0 {
 		fmt.Fprintf(w, "  per-visit latency      p50 %s  p95 %s (%d visits)\n",

@@ -39,8 +39,9 @@ func (fs *FileSink) Name() string { return "file" }
 // segment, flush the compressor so the bytes are recoverable after a
 // crash, then rotate if the segment is over budget.
 func (fs *FileSink) Publish(batch []Envelope) error {
-	body, err := EncodeNDJSON(batch)
-	if err != nil {
+	buf := encodePool.Get(0)
+	defer encodePool.Put(buf)
+	if err := AppendNDJSON(buf, batch); err != nil {
 		return err
 	}
 	if fs.zw == nil {
@@ -48,7 +49,7 @@ func (fs *FileSink) Publish(batch []Envelope) error {
 			return err
 		}
 	}
-	if _, err := fs.zw.Write(body); err != nil {
+	if _, err := fs.zw.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("sink: file write: %w", err)
 	}
 	if err := fs.zw.Flush(); err != nil {

@@ -46,10 +46,12 @@ func (h *HTTPSink) Name() string { return "http" }
 // Publish implements Publisher: one NDJSON POST per batch, retried on
 // transient failure.
 func (h *HTTPSink) Publish(batch []Envelope) error {
-	body, err := EncodeNDJSON(batch)
-	if err != nil {
+	buf := encodePool.Get(0)
+	defer encodePool.Put(buf)
+	if err := AppendNDJSON(buf, batch); err != nil {
 		return err
 	}
+	body := buf.Bytes()
 	client := h.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}

@@ -65,6 +65,7 @@ func (m *MemorySink) Publish(batch []Envelope) error {
 	for _, env := range cp {
 		switch env.Type {
 		case TypeFlow:
+			env.Flow.Ref() // the sink retains the record beyond the batch
 			m.flows = append(m.flows, env.Flow)
 		case TypeDelta:
 			if m.deltas == nil {

@@ -22,6 +22,7 @@
 package sink
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"panoptes/internal/breaker"
+	"panoptes/internal/bytepool"
 	"panoptes/internal/capture"
 	"panoptes/internal/obs"
 )
@@ -279,6 +281,10 @@ func (e *Exporter) Observe(f *capture.Flow) {
 		e.deduped.Inc()
 		return
 	}
+	// The exporter's reference: parked flows hold it until Seal moves
+	// them into a batch or Retract/Close drops them; batched flows hold
+	// it until every sink dispatcher is done with the batch.
+	f.Ref()
 	if f.Attempt != 0 {
 		e.pending[f.Attempt] = append(e.pending[f.Attempt], f)
 		e.mu.Unlock()
@@ -307,8 +313,12 @@ func (e *Exporter) Seal(attempt int64) {
 // a retracted attempt must never appear in any export stream.
 func (e *Exporter) Retract(attempt int64) {
 	e.mu.Lock()
+	flows := e.pending[attempt]
 	delete(e.pending, attempt)
 	e.mu.Unlock()
+	for _, f := range flows {
+		f.Release()
+	}
 }
 
 // Pending returns the number of flows parked for in-flight attempts.
@@ -382,6 +392,19 @@ func (e *Exporter) flushLocked(trigger string) {
 	batch := e.batch
 	e.batch = nil
 	e.flushes[trigger].Inc()
+	// The batch slice is shared by every sink's queue. Multiply the one
+	// flow reference taken at Observe out to one per sink — each sink's
+	// terminal path (delivered, shed on a full queue, dropped by the
+	// breaker or a publish error) releases exactly its own share.
+	for i := 1; i < len(e.sinks); i++ {
+		for j := range batch {
+			batch[j].Flow.Ref()
+		}
+	}
+	if len(e.sinks) == 0 {
+		releaseFlows(batch)
+		return
+	}
 	for _, s := range e.sinks {
 		switch e.cfg.Policy {
 		case PolicyBlock:
@@ -392,8 +415,17 @@ func (e *Exporter) flushLocked(trigger string) {
 				s.ch <- batch
 			} else {
 				s.drop(len(batch), s.obsDropQueue)
+				releaseFlows(batch)
 			}
 		}
+	}
+}
+
+// releaseFlows drops one reference per flow event in a batch (delta
+// envelopes carry no flow; Release is nil-safe).
+func releaseFlows(batch []Envelope) {
+	for i := range batch {
+		batch[i].Flow.Release()
 	}
 }
 
@@ -428,6 +460,12 @@ func (e *Exporter) Close() error {
 		return nil
 	}
 	e.flushLocked("final")
+	for _, flows := range e.pending {
+		for _, f := range flows {
+			f.Release()
+		}
+	}
+	e.pending = nil
 	e.closed = true
 	e.mu.Unlock()
 
@@ -479,6 +517,7 @@ func (e *Exporter) run(s *sinkState) {
 // beats at-least-once here; re-export is a resume/replay concern.
 func (e *Exporter) deliver(s *sinkState, batch []Envelope) {
 	defer s.done()
+	defer releaseFlows(batch) // this sink's share, whatever the outcome
 	if !s.br.Allow(e.cfg.Now()) {
 		s.drop(len(batch), s.obsDropBreaker)
 		return
@@ -559,17 +598,31 @@ func (s *sinkState) drop(n int, c *obs.Counter) {
 	c.Add(int64(n))
 }
 
-// EncodeNDJSON renders a batch as newline-delimited JSON — the wire
-// format shared by the HTTP bulk sink and the file sink.
-func EncodeNDJSON(batch []Envelope) ([]byte, error) {
-	var buf []byte
+// encodePool recycles the NDJSON encode buffers the HTTP and file sinks
+// serialise batches into — per-batch encoding was the exporter's
+// dominant allocation (one growth chain plus one line buffer per event).
+var encodePool = bytepool.New("sink_encode", 4<<10, 64<<10, 1<<20)
+
+// AppendNDJSON renders a batch as newline-delimited JSON into buf — the
+// wire format shared by the HTTP bulk sink and the file sink.
+// json.Encoder terminates each value with '\n', which is exactly the
+// NDJSON framing.
+func AppendNDJSON(buf *bytes.Buffer, batch []Envelope) error {
+	enc := json.NewEncoder(buf)
 	for i := range batch {
-		line, err := json.Marshal(&batch[i])
-		if err != nil {
-			return nil, fmt.Errorf("sink: encode event seq %d: %w", batch[i].Seq, err)
+		if err := enc.Encode(&batch[i]); err != nil {
+			return fmt.Errorf("sink: encode event seq %d: %w", batch[i].Seq, err)
 		}
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
 	}
-	return buf, nil
+	return nil
+}
+
+// EncodeNDJSON renders a batch as newline-delimited JSON in a fresh
+// allocation. Hot paths use AppendNDJSON with a pooled buffer instead.
+func EncodeNDJSON(batch []Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := AppendNDJSON(&buf, batch); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -27,8 +27,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (obs, mitm, capture)"
-go test -race ./internal/obs/... ./internal/mitm/... ./internal/capture/...
+echo "==> go test -race (obs, mitm, connpool, capture: sharded accept loops + idle pools + flow recycling)"
+go test -race ./internal/obs/... ./internal/mitm/... ./internal/connpool/... ./internal/capture/...
 
 echo "==> go test -race (core, leak, pipeline: concurrent scheduler + streaming analyzers)"
 go test -race ./internal/core/... ./internal/leak/... ./internal/pipeline/...
@@ -41,16 +41,23 @@ go test -race ./internal/sink/... ./internal/breaker/...
 
 echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
 # A seeded chaos campaign must complete with every browser intact and
-# every failed visit classified, and the determinism keystone must hold
-# across straight/resumed runs at parallelism 1 and 8.
-go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism' \
+# every failed visit classified, and the determinism keystones must hold
+# across straight/resumed runs at parallelism 1 and 8 — including the
+# data-plane contract: warm (resumed TLS + pooled conns, with injected
+# pool poison) campaigns byte-identical to the cold full-handshake path.
+go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism|TestDataPlaneDeterminism' \
     ./internal/core/ ./internal/faultsim/
 
-echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N)"
-go test -run '^$' -bench CrawlScaling -benchtime=1x .
+echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N, warm vs cold data plane)"
+crawl_out=$(go test -run '^$' -bench CrawlScaling -benchtime=1x .)
+echo "$crawl_out"
 
 echo "==> benchmark smoke: leak scan scaling + mitm body allocs"
-bench_out=$(go test -run '^$' -bench 'LeakScanScaling|MitmBodyAlloc' -benchmem -benchtime=1x \
+# 100 iterations, not 1: the flow-record and body pools only show their
+# steady-state allocation profile once warm (a 1x run measures pool
+# cold-start, which charges buildFlow the one-time Flow/Headers/Body
+# allocations it exists to amortise).
+bench_out=$(go test -run '^$' -bench 'LeakScanScaling|MitmBodyAlloc' -benchmem -benchtime=100x \
     ./internal/leak/ ./internal/mitm/)
 echo "$bench_out"
 # Emit a machine-readable baseline so perf regressions show up as a
@@ -63,9 +70,13 @@ BEGIN { print "[" ; first = 1 }
 $0 ~ "^Benchmark(" pattern ")" {
     row = "{\"bench\": \"" $1 "\""
     for (i = 2; i <= NF; i++) {
-        if ($(i) == "flows/sec")        row = row ", \"flows_per_sec\": \"" $(i - 1) "\""
-        if ($(i) == "allocs/op")        row = row ", \"allocs_per_op\": \"" $(i - 1) "\""
-        if ($(i) == "peak_queue_depth") row = row ", \"peak_queue_depth\": \"" $(i - 1) "\""
+        if ($(i) == "flows/sec")              row = row ", \"flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "allocs/op")              row = row ", \"allocs_per_op\": \"" $(i - 1) "\""
+        if ($(i) == "peak_queue_depth")       row = row ", \"peak_queue_depth\": \"" $(i - 1) "\""
+        if ($(i) == "visits/sec")             row = row ", \"visits_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "allocs/visit")           row = row ", \"allocs_per_visit\": \"" $(i - 1) "\""
+        if ($(i) == "handshake_resumed_pct")  row = row ", \"handshake_resumed_pct\": \"" $(i - 1) "\""
+        if ($(i) == "conn_reuse_pct")         row = row ", \"conn_reuse_pct\": \"" $(i - 1) "\""
     }
     row = row "}"
     if (!first) printf ",\n"
@@ -76,6 +87,12 @@ END { print "\n]" }'
 }
 echo "$bench_out" | emit_bench_json "LeakScanScaling|MitmBodyAlloc" > BENCH_leakscan.json
 echo "wrote BENCH_leakscan.json"
+
+# The crawl baseline pins the end-to-end data plane: visits/sec at
+# parallelism 1 and 8 plus the cold (no resumption, no reuse) ablation,
+# allocs/visit, and the handshake-resumed / conn-reuse rates.
+echo "$crawl_out" | emit_bench_json "CrawlScaling" > BENCH_crawl.json
+echo "wrote BENCH_crawl.json"
 
 echo "==> benchmark smoke: sink throughput (flows/sec into a slow sink, queue bound, allocs/op)"
 sink_out=$(go test -run '^$' -bench SinkThroughput -benchmem -benchtime=1x ./internal/sink/)
