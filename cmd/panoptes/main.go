@@ -27,6 +27,7 @@ import (
 	"panoptes/internal/blocker"
 	"panoptes/internal/capture"
 	"panoptes/internal/core"
+	"panoptes/internal/fabric"
 	"panoptes/internal/faultsim"
 	"panoptes/internal/leak"
 	"panoptes/internal/obs"
@@ -60,6 +61,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write a resumable campaign checkpoint (JSON) to this path")
 		resumeFrom = flag.String("resume", "", "resume the campaign from a checkpoint written by -checkpoint")
 
+		workersN     = flag.Int("workers", 0, "run the campaign on a lease-based worker fabric with this many worker planes (0 = single-process)")
+		leaseVisits  = flag.Int("lease-visits", 0, "sites per fabric lease (with -workers; default 4)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "virtual-clock lease deadline before a silent worker's lease is reclaimed (with -workers; default 2m)")
+		fabricMode   = flag.String("fabric-mode", "failover", "worker transport spread: failover or roundrobin (with -workers)")
+
 		all      = flag.Bool("all", false, "produce every figure and table")
 		table1   = flag.Bool("table1", false, "Table 1: browser dataset")
 		fig2     = flag.Bool("fig2", false, "Figure 2: engine vs native request counts")
@@ -88,6 +94,22 @@ func main() {
 	}
 	if retainMode != capture.RetainAll && *checkpoint != "" {
 		fatalf("-checkpoint requires -retain=all (checkpoints snapshot the flow databases)")
+	}
+	if *workersN > 0 {
+		if *checkpoint != "" || *resumeFrom != "" {
+			fatalf("-workers is incompatible with -checkpoint/-resume: the fabric's leases already partition and resume the campaign internally")
+		}
+		if *block {
+			fatalf("-workers is incompatible with -block: the blocker hooks the coordinator proxy, but fabric visits run on worker planes")
+		}
+	}
+	fabricTransport := fabric.ModeFailover
+	if *workersN > 0 {
+		m, err := fabric.ParseMode(*fabricMode)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fabricTransport = m
 	}
 
 	if *all {
@@ -194,31 +216,67 @@ func main() {
 	}
 
 	if needCrawl {
-		workers := *parallel
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		ccfg := core.CampaignConfig{
-			Incognito:   *incognito,
-			Parallelism: *parallel,
-			Checkpoint:  *checkpoint != "",
-		}
-		if *resumeFrom != "" {
-			cp, err := core.ReadCheckpoint(*resumeFrom)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			ccfg.Resume = cp
-			ccfg.Incognito = cp.Incognito
-			fmt.Fprintf(os.Stderr, "panoptes: resuming campaign from %s (%d browsers checkpointed)\n",
-				*resumeFrom, len(cp.Browsers))
-		}
-		fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v, parallel=%d)...\n",
-			len(w.Sites), len(selected), ccfg.Incognito, workers)
+		var res *core.CampaignResult
 		start := time.Now()
-		res, err := w.RunCampaign(ccfg)
-		if err != nil {
-			fatalf("campaign: %v", err)
+		if *workersN > 0 {
+			// Distributed path: the coordinator world merges; fresh worker
+			// planes (same deterministic site dataset, full retention so the
+			// lease checkpoints can carry session state) do the crawling.
+			fmt.Fprintf(os.Stderr, "panoptes: fabric crawl of %d sites × %d browsers (workers=%d, mode=%s)...\n",
+				len(w.Sites), len(selected), *workersN, fabricTransport)
+			fres, err := fabric.Run(fabric.Config{
+				World: w,
+				NewWorkerWorld: func() (*core.World, error) {
+					ww, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected})
+					if err != nil {
+						return nil, err
+					}
+					if inj != nil {
+						ww.InstallFaults(inj)
+					}
+					return ww, nil
+				},
+				Workers:      *workersN,
+				LeaseVisits:  *leaseVisits,
+				LeaseTimeout: *leaseTimeout,
+				Mode:         fabricTransport,
+				Campaign:     core.CampaignConfig{Incognito: *incognito},
+				Faults:       inj,
+			})
+			if err != nil {
+				fatalf("fabric: %v", err)
+			}
+			res = fres.Campaign
+			st := fres.Stats
+			fmt.Fprintf(os.Stderr, "panoptes: fabric: %d leases issued, %d reclaimed, %d duplicate completions dropped; %d worker restarts; %d flows merged, %d quarantined\n",
+				st.LeasesIssued, st.LeasesReclaimed, st.DuplicateDrops, st.WorkerRestarts, st.FlowsMerged, st.FlowsQuarantined)
+		} else {
+			workers := *parallel
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			ccfg := core.CampaignConfig{
+				Incognito:   *incognito,
+				Parallelism: *parallel,
+				Checkpoint:  *checkpoint != "",
+			}
+			if *resumeFrom != "" {
+				cp, err := core.ReadCheckpoint(*resumeFrom)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				ccfg.Resume = cp
+				ccfg.Incognito = cp.Incognito
+				fmt.Fprintf(os.Stderr, "panoptes: resuming campaign from %s (%d browsers checkpointed)\n",
+					*resumeFrom, len(cp.Browsers))
+			}
+			fmt.Fprintf(os.Stderr, "panoptes: crawling %d sites × %d browsers (incognito=%v, parallel=%d)...\n",
+				len(w.Sites), len(selected), ccfg.Incognito, workers)
+			r, err := w.RunCampaign(ccfg)
+			if err != nil {
+				fatalf("campaign: %v", err)
+			}
+			res = r
 		}
 		fmt.Fprintf(os.Stderr, "panoptes: %d visits (%d errors, %d skipped) in %v wall / %v virtual\n",
 			len(res.Visits), res.Errors, len(res.Skipped), time.Since(start).Round(time.Millisecond),
@@ -372,6 +430,10 @@ func main() {
 		fmt.Println()
 		if w.Exporter != nil {
 			report.SinkObsSummary(os.Stdout, obs.Default)
+			fmt.Println()
+		}
+		if *workersN > 0 {
+			report.FabricObsSummary(os.Stdout, obs.Default)
 			fmt.Println()
 		}
 		report.MetricsSummary(os.Stdout, obs.Default)

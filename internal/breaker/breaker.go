@@ -21,6 +21,16 @@ import (
 // choice — the campaign scheduler records committed visit outcomes (not
 // individual attempts) so converging fault plans never trip it; the
 // export plane records batch publishes.
+//
+// Once the cooldown elapses the breaker is half-open: Allow admits
+// exactly one probe, and concurrent callers are refused until that
+// probe's outcome is Recorded. A successful probe closes the breaker
+// fully; a failed probe counts into a fresh failure streak (so a
+// threshold-N breaker needs N post-cooldown failures to reopen). A
+// probe whose caller never Records — the campaign scheduler can skip a
+// visit after Allow when a second breaker vetoes it — goes stale after
+// one further cooldown, at which point the next Allow claims a new
+// probe instead of wedging the breaker half-open forever.
 type Breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -28,6 +38,9 @@ type Breaker struct {
 	mu        sync.Mutex
 	fails     int
 	openUntil time.Time
+	opened    bool      // breaker has tripped and not yet seen a successful probe
+	probing   bool      // a half-open probe is in flight
+	probeAt   time.Time // when the in-flight probe was admitted
 }
 
 // New returns a closed breaker that opens after threshold consecutive
@@ -36,21 +49,38 @@ func New(threshold int, cooldown time.Duration) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown}
 }
 
-// Allow reports whether the protected operation may run at now.
+// Allow reports whether the protected operation may run at now. On a
+// previously-tripped breaker whose cooldown has elapsed it admits a
+// single half-open probe; further calls return false until that probe
+// is Recorded or goes stale (one cooldown after it was admitted).
 func (br *Breaker) Allow(now time.Time) bool {
 	br.mu.Lock()
 	defer br.mu.Unlock()
-	return !now.Before(br.openUntil)
+	if now.Before(br.openUntil) {
+		return false
+	}
+	if !br.opened {
+		return true
+	}
+	if br.probing && now.Before(br.probeAt.Add(br.cooldown)) {
+		return false
+	}
+	br.probing = true
+	br.probeAt = now
+	return true
 }
 
 // Record feeds one outcome in; it returns true when this failure opened
 // the breaker (callers bump their open-transition counter on it). A
-// success resets the consecutive-failure count.
+// success resets the consecutive-failure count and, after a trip, fully
+// closes a half-open breaker.
 func (br *Breaker) Record(ok bool, now time.Time) bool {
 	br.mu.Lock()
 	defer br.mu.Unlock()
+	br.probing = false
 	if ok {
 		br.fails = 0
+		br.opened = false
 		return false
 	}
 	br.fails++
@@ -58,6 +88,7 @@ func (br *Breaker) Record(ok bool, now time.Time) bool {
 		return false
 	}
 	br.fails = 0
+	br.opened = true
 	br.openUntil = now.Add(br.cooldown)
 	return true
 }

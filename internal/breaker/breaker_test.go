@@ -2,6 +2,7 @@ package breaker
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -89,6 +90,99 @@ func TestSetKeysAreIndependent(t *testing.T) {
 	}
 	if !s.Get("b").Allow(now) {
 		t.Fatal("key b must be unaffected by key a's failures")
+	}
+}
+
+func TestHalfOpenAdmitsSingleProbe(t *testing.T) {
+	br := New(1, time.Minute)
+	now := epoch
+	br.Record(false, now) // open
+	later := now.Add(time.Minute)
+	if !br.Allow(later) {
+		t.Fatal("cooldown elapsed: first caller must get the half-open probe")
+	}
+	if br.Allow(later) {
+		t.Fatal("second caller must be refused while the probe is in flight")
+	}
+	if br.Allow(later.Add(30 * time.Second)) {
+		t.Fatal("probe still fresh: concurrent callers stay refused")
+	}
+	// The probe succeeds: the breaker closes fully, no more gating.
+	br.Record(true, later)
+	if !br.Allow(later) || !br.Allow(later) {
+		t.Fatal("a successful probe must close the breaker for everyone")
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	br := New(1, time.Minute)
+	now := epoch
+	br.Record(false, now)
+	later := now.Add(2 * time.Minute)
+	if !br.Allow(later) {
+		t.Fatal("must admit the probe")
+	}
+	if !br.Record(false, later) {
+		t.Fatal("threshold-1: failed probe must reopen the breaker")
+	}
+	if br.Allow(later.Add(30 * time.Second)) {
+		t.Fatal("reopened breaker must refuse inside the new cooldown")
+	}
+}
+
+func TestHalfOpenStaleProbeExpires(t *testing.T) {
+	br := New(1, time.Minute)
+	now := epoch
+	br.Record(false, now)
+	probeAt := now.Add(time.Minute)
+	if !br.Allow(probeAt) {
+		t.Fatal("must admit the probe")
+	}
+	// The probe's caller never Records (e.g. the visit was vetoed by a
+	// second breaker). One cooldown later the claim expires and a new
+	// probe is admitted instead of the breaker wedging half-open.
+	if br.Allow(probeAt.Add(59 * time.Second)) {
+		t.Fatal("unexpired probe claim must still refuse others")
+	}
+	if !br.Allow(probeAt.Add(time.Minute)) {
+		t.Fatal("stale probe must expire so a new probe can be admitted")
+	}
+}
+
+func TestHalfOpenConcurrentProbes(t *testing.T) {
+	br := New(1, time.Minute)
+	br.Record(false, epoch)
+	later := epoch.Add(time.Minute)
+
+	var wg sync.WaitGroup
+	var admitted atomic.Int32
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if br.Allow(later) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+	br.Record(true, later)
+	admitted.Store(0)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if br.Allow(later) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 32 {
+		t.Fatalf("closed breaker admitted %d of 32 callers, want all", got)
 	}
 }
 

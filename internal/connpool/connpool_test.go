@@ -112,6 +112,41 @@ func TestAgeEviction(t *testing.T) {
 	}
 }
 
+func TestAgeEvictionExactBoundary(t *testing.T) {
+	p, now := newTestPool(t, Config{IdleAge: time.Minute})
+	c := park(t, p, "k")
+
+	// Aged exactly to the idle deadline: the cutoff is now-idleAge and
+	// eviction requires since strictly before it, so the conn is still
+	// good. The boundary is inclusive by design — a conn parked at t and
+	// fetched at t+idleAge has been idle for exactly the budget, not
+	// over it.
+	*now = now.Add(time.Minute)
+	e, ok := p.Get("k")
+	if !ok || e.Conn != c {
+		t.Fatalf("conn aged exactly to the idle deadline must be reused, got ok=%v", ok)
+	}
+	if c.isClosed() {
+		t.Fatal("boundary-aged conn must not be closed")
+	}
+	if st := p.Stats(); st.EvictedAge != 0 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit and no age evictions", st)
+	}
+
+	// One nanosecond past the deadline the same conn is gone.
+	c2 := park(t, p, "k")
+	*now = now.Add(time.Minute + time.Nanosecond)
+	if _, ok := p.Get("k"); ok {
+		t.Fatal("conn one nanosecond past the idle deadline must be evicted")
+	}
+	if !c2.isClosed() {
+		t.Fatal("evicted conn must be closed")
+	}
+	if st := p.Stats(); st.EvictedAge != 1 {
+		t.Fatalf("EvictedAge = %d, want 1", st.EvictedAge)
+	}
+}
+
 func TestCapacityBounds(t *testing.T) {
 	p, _ := newTestPool(t, Config{MaxPerKey: 2, MaxIdle: 3})
 	park(t, p, "a")

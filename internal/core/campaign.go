@@ -254,7 +254,7 @@ func (w *World) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	// A checkpoint snapshots the stores, so it needs them fully
 	// retained; refuse early rather than writing an empty snapshot.
 	if cfg.Checkpoint && !w.DB.FullyRetained() {
-		return nil, fmt.Errorf("core: checkpointing requires full flow retention (retain=all)")
+		return nil, fmt.Errorf("core: checkpointing requires full flow retention: rerun with -retain=all (the current retention mode drops flows after streaming analysis, so the snapshot would be empty)")
 	}
 
 	// Re-adopt a checkpoint's committed flows before any crawl starts.

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"panoptes/internal/capture"
+	"panoptes/internal/profiles"
+)
+
+// Checkpointing snapshots the retained stores, so it must refuse to run
+// under bounded retention — and the refusal has to tell the operator
+// which flag fixes it.
+func TestCheckpointRequiresFullRetention(t *testing.T) {
+	for _, mode := range []capture.RetainMode{capture.RetainNative, capture.RetainNone} {
+		w, err := NewWorld(WorldConfig{
+			Sites:    2,
+			Profiles: []*profiles.Profile{profiles.ByName("Chrome")},
+			Retain:   mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+
+		_, err = w.RunCampaign(CampaignConfig{Checkpoint: true})
+		if err == nil {
+			t.Fatalf("retain=%s + checkpoint: campaign ran, want refusal", mode)
+		}
+		if !strings.Contains(err.Error(), "-retain=all") {
+			t.Fatalf("retain=%s error %q does not name the -retain=all flag", mode, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"panoptes/internal/core"
+	"panoptes/internal/faultsim"
+)
+
+// BenchmarkFabricScaling is the fabric throughput baseline: the full
+// 15-browser fleet over 4 sites with the wide-area RTT model, at 1, 2
+// and 8 workers, plus a worker-kill chaos variant. Worker planes are
+// built outside the measured window (a deployment keeps worker
+// processes warm; the fabric's job is moving leases, not booting
+// worlds), so visits/sec measures lease execution + shipping + merge.
+// ci.sh emits the results as BENCH_fabric.json; the 8-worker topology
+// must hold ≥ 3× the 1-worker visits/sec.
+func BenchmarkFabricScaling(b *testing.B) {
+	const (
+		sites    = 4
+		benchRTT = 10 * time.Millisecond
+	)
+	worldCfg := core.WorldConfig{Sites: sites, UpstreamRTT: benchRTT} // nil Profiles = full fleet
+
+	run := func(b *testing.B, workers int, faults *faultsim.Injector) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			coord, err := core.NewWorld(worldCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-build the worker planes concurrently (one spare for the
+			// kill variant's replacement worker).
+			pool := make([]*core.World, workers+1)
+			var wg sync.WaitGroup
+			for j := range pool {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					w, err := core.NewWorld(worldCfg)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					pool[j] = w
+				}(j)
+			}
+			wg.Wait()
+			if b.Failed() {
+				return
+			}
+			var mu sync.Mutex
+			newWorker := func() (*core.World, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if len(pool) > 0 {
+					w := pool[len(pool)-1]
+					pool = pool[:len(pool)-1]
+					return w, nil
+				}
+				return core.NewWorld(worldCfg)
+			}
+
+			start := time.Now()
+			res, err := Run(Config{
+				World:          coord,
+				NewWorkerWorld: newWorker,
+				Workers:        workers,
+				LeaseVisits:    2,
+				Campaign:       core.CampaignConfig{},
+				Faults:         faults,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start).Seconds()
+			b.ReportMetric(float64(len(res.Campaign.Visits))/elapsed, "visits/sec")
+			b.ReportMetric(float64(res.Stats.LeasesReclaimed), "lease_reclaims")
+			mu.Lock()
+			for _, w := range pool {
+				w.Close()
+			}
+			mu.Unlock()
+			coord.Close()
+		}
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, workers, nil)
+		})
+	}
+	// The chaos variant kills one of four workers mid-lease: the lease is
+	// reclaimed, a replacement spawns, and throughput degrades gracefully
+	// instead of losing visits.
+	b.Run("workers=4/kill", func(b *testing.B) {
+		run(b, 4, faultsim.New(faultsim.Plan{Seed: 42, Scripted: []faultsim.ScriptedFault{
+			{Kind: faultsim.WorkerCrash, Browser: "w1", Attempt: 1},
+		}}))
+	})
+}

@@ -1,0 +1,660 @@
+// Package fabric is the fault-tolerant distributed campaign layer: a
+// coordinator that partitions the (browser × site) plan into leases and
+// N workers that each run a full measurement plane (mitm + capture +
+// streaming suite) and ship partial state back over an injectable
+// in-memory transport. The design goal is that worker death is a
+// recoverable, invisible event — a crashed, stalled or partitioned
+// worker's lease expires and is reclaimed and re-issued to a healthy
+// worker, partial results from the dead issue are quarantined exactly
+// like a retracted attempt, duplicate completions from a
+// reclaimed-then-returned lease are deduped by attempt tag, and the
+// seq-ordered reducer merges accepted leases so any worker topology
+// produces byte-identical analyses to the single-process baseline.
+//
+// Determinism argument (DESIGN.md §12 carries the long form):
+//
+//   - Leases within one browser are issued strictly sequentially; lease
+//     k+1 carries the browser.SessionState produced by the accepted run
+//     of lease k, so the visit/idle/noise schedule a worker replays is
+//     exactly the one the single-process crawl would have run.
+//   - A worker world's browsers only ever contain state from accepted
+//     leases: any lease that ends without acceptance (injected crash,
+//     stall, transport partition, or a completion rejected as stale)
+//     retires the whole worker and its world. Replacements start from a
+//     fresh world plus the last accepted SessionState, so a re-run is
+//     bit-equivalent to the first run.
+//   - The reducer renumbers merged flows per browser ((laneIdx+1)<<40 +
+//     per-lane seq) preserving each browser's commit order; every
+//     analyzer is observe-order-independent across browsers and
+//     order-preserving within one (the parallelism-determinism keystone),
+//     so the merged suite equals the baseline suite.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"panoptes/internal/browser"
+	"panoptes/internal/capture"
+	"panoptes/internal/core"
+	"panoptes/internal/faultsim"
+	"panoptes/internal/obs"
+	"panoptes/internal/profiles"
+	"panoptes/internal/vclock"
+	"panoptes/internal/websim"
+)
+
+func init() {
+	obs.Default.Help("fabric_lease_issued_total", "Leases issued to fabric workers (re-issues included).")
+	obs.Default.Help("fabric_lease_reclaimed_total", "Expired leases reclaimed from crashed/stalled/partitioned workers.")
+	obs.Default.Help("fabric_lease_duplicate_total", "Messages rejected by the lease tag dedupe (stale batches and duplicate completions).")
+	obs.Default.Help("fabric_worker_restarts_total", "Fabric workers replaced after a crash, stall or partition.")
+	obs.Default.Help("fabric_merge_lag", "Flows shipped by workers but not yet merged by the reducer.")
+	obs.Default.Help("fabric_flows_quarantined_total", "Shipped flows quarantined because their lease issue was reclaimed.")
+	obs.Default.Help("fabric_transport_sends_total", "Worker→coordinator transport sends, by result.")
+}
+
+// Config drives one fabric campaign.
+type Config struct {
+	// World is the coordinator's world: its clock times lease deadlines
+	// and its DB/pipeline/suite (and exporter, when sinks are wired)
+	// receive the merged flow stream. The coordinator world never crawls.
+	World *core.World
+	// NewWorkerWorld builds one worker's measurement plane. Worker worlds
+	// must host the same site dataset as the coordinator and retain all
+	// flows (leases resume via the checkpoint path). Required.
+	NewWorkerWorld func() (*core.World, error)
+
+	// Workers is the topology size (default 1).
+	Workers int
+	// LeaseVisits is how many sites one lease covers (default 4).
+	LeaseVisits int
+	// LeaseTimeout is the vclock deadline stamped on each issued lease
+	// and refreshed by heartbeats and flow batches (default 2 minutes).
+	LeaseTimeout time.Duration
+	// StaleAfter is the wall-clock quiet period after which an in-flight
+	// lease is eligible for deadline expiry. The janitor only advances
+	// the coordinator clock to a lease's deadline once its worker has
+	// been silent this long, so a slow-but-alive worker is never
+	// reclaimed out from under a heartbeat (default 150ms).
+	StaleAfter time.Duration
+
+	// Campaign is the plan template: Browsers/Sites select the plan,
+	// Incognito/Settle/NavigateTimeout/retry/breaker knobs are inherited
+	// by every lease. Checkpoint, Resume and StopAfterVisits are the
+	// single-process split mechanisms and must be unset — the fabric
+	// leases already partition the campaign.
+	Campaign core.CampaignConfig
+
+	// Mode selects how a worker spreads sends across its endpoints
+	// (default ModeFailover); Endpoints is how many worker→coordinator
+	// endpoints each worker gets (default 2).
+	Mode      TransportMode
+	Endpoints int
+
+	// Faults injects fabric-level chaos: WorkerCrash/WorkerStall via
+	// WorkerFault, TransportDrop via TransportFault. Defaults to the
+	// coordinator world's installed injector. Worker worlds carry their
+	// own (visit-level) injectors, installed by NewWorkerWorld.
+	Faults *faultsim.Injector
+
+	// MaxWorkerRestarts bounds crash-replacement (default 2×Workers+8).
+	// When exhausted, surviving workers still finish the plan via lease
+	// reclamation; Run only fails if no worker remains.
+	MaxWorkerRestarts int
+}
+
+// Stats counts the fabric's robustness events for one run.
+type Stats struct {
+	LeasesIssued     int
+	LeasesReclaimed  int
+	DuplicateDrops   int
+	WorkerRestarts   int
+	FlowsMerged      int
+	FlowsQuarantined int
+}
+
+// Result is a fabric campaign's outcome: the merged campaign result
+// (visits in plan order, exactly as the single-process run would report
+// them) plus the fabric's own robustness counters.
+type Result struct {
+	Campaign *core.CampaignResult
+	Stats    Stats
+}
+
+func (cfg *Config) defaults() error {
+	if cfg.World == nil {
+		return fmt.Errorf("fabric: Config.World is required")
+	}
+	if cfg.NewWorkerWorld == nil {
+		return fmt.Errorf("fabric: Config.NewWorkerWorld is required")
+	}
+	if cfg.Campaign.Checkpoint || cfg.Campaign.Resume != nil || cfg.Campaign.StopAfterVisits != 0 {
+		return fmt.Errorf("fabric: Campaign.Checkpoint/Resume/StopAfterVisits are single-process split mechanisms; the fabric's leases already partition the campaign")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.LeaseVisits <= 0 {
+		cfg.LeaseVisits = 4
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Minute
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 150 * time.Millisecond
+	}
+	if cfg.Endpoints <= 0 {
+		cfg.Endpoints = 2
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeFailover
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = cfg.World.Faults
+	}
+	if cfg.MaxWorkerRestarts <= 0 {
+		cfg.MaxWorkerRestarts = 2*cfg.Workers + 8
+	}
+	return nil
+}
+
+// buildPlan partitions the (browser × site) plan into per-browser lease
+// lanes, mirroring RunCampaign's browser resolution (unknown names fail
+// up front, incognito-less browsers are skipped).
+func buildPlan(cfg *Config, c *coordinator) error {
+	browsers := cfg.Campaign.Browsers
+	if browsers == nil {
+		browsers = defaultBrowsers(cfg.World)
+	}
+	sites := cfg.Campaign.Sites
+	if sites == nil {
+		sites = cfg.World.Sites
+	}
+	for _, name := range browsers {
+		b, err := cfg.World.Browser(name)
+		if err != nil {
+			return err
+		}
+		if cfg.Campaign.Incognito && !b.Profile.HasIncognito {
+			c.skipped = append(c.skipped, name)
+			continue
+		}
+		lane := &lane{name: name, idx: len(c.lanes)}
+		for off := 0; off < len(sites); off += cfg.LeaseVisits {
+			end := off + cfg.LeaseVisits
+			if end > len(sites) {
+				end = len(sites)
+			}
+			lane.slots = append(lane.slots, &leaseSlot{
+				lane:  lane,
+				seq:   len(lane.slots),
+				sites: sites[off:end],
+			})
+		}
+		c.lanes = append(c.lanes, lane)
+	}
+	return nil
+}
+
+func defaultBrowsers(w *core.World) []string {
+	var names []string
+	for _, p := range profiles.All() {
+		if _, ok := w.Browsers[p.Name]; ok {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// Run executes the campaign plan across cfg.Workers worker planes and
+// returns the deterministically merged result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	c := &coordinator{
+		world:      cfg.World,
+		clock:      cfg.World.Clock,
+		timeout:    cfg.LeaseTimeout,
+		staleAfter: cfg.StaleAfter,
+		byTag:      make(map[int64]*leaseSlot),
+		wake:       make(chan struct{}),
+	}
+	if err := buildPlan(&cfg, c); err != nil {
+		return nil, err
+	}
+
+	// Build the initial worker planes concurrently — each world is a
+	// full measurement plane and the builds are independent.
+	worlds := make([]*core.World, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var bwg sync.WaitGroup
+	for i := range worlds {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			worlds[i], errs[i] = newWorkerWorld(&cfg)
+		}(i)
+	}
+	bwg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, w := range worlds {
+				if w != nil {
+					w.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+
+	stopJanitor := make(chan struct{})
+	var jwg sync.WaitGroup
+	jwg.Add(1)
+	go func() {
+		defer jwg.Done()
+		interval := cfg.StaleAfter / 2
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		if interval > 100*time.Millisecond {
+			interval = 100 * time.Millisecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopJanitor:
+				return
+			case <-tick.C:
+				c.tick()
+			}
+		}
+	}()
+
+	type workerExit struct {
+		w       *core.World
+		crashed bool
+	}
+	exits := make(chan workerExit)
+	nextID := 0
+	live := 0
+	spawn := func(w *core.World) {
+		nextID++
+		wk := newWorker(fmt.Sprintf("w%d", nextID), w, c, &cfg)
+		live++
+		go func() {
+			crashed := wk.run()
+			exits <- workerExit{w: w, crashed: crashed}
+		}()
+	}
+	for _, w := range worlds {
+		spawn(w)
+	}
+
+	var leftover []*core.World
+	restarts := 0
+	var lastErr error
+	for live > 0 {
+		ex := <-exits
+		live--
+		if !ex.crashed {
+			leftover = append(leftover, ex.w)
+			continue
+		}
+		// The dead worker's world may hold browser state from the
+		// abandoned lease (session and activity clocks only move
+		// forward), so it cannot be reused: close it and start a
+		// replacement from a fresh plane.
+		ex.w.Close()
+		if c.done() {
+			continue
+		}
+		if restarts >= cfg.MaxWorkerRestarts {
+			lastErr = fmt.Errorf("fabric: worker restart budget exhausted (%d)", restarts)
+			continue
+		}
+		restarts++
+		c.addRestart()
+		nw, err := newWorkerWorld(&cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		spawn(nw)
+	}
+	close(stopJanitor)
+	jwg.Wait()
+	for _, w := range leftover {
+		w.Close()
+	}
+
+	if !c.done() {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("fabric: campaign did not complete")
+		}
+		return nil, lastErr
+	}
+	return &Result{Campaign: c.result(), Stats: c.statsCopy()}, nil
+}
+
+func newWorkerWorld(cfg *Config) (*core.World, error) {
+	w, err := cfg.NewWorkerWorld()
+	if err != nil {
+		return nil, err
+	}
+	if !w.DB.FullyRetained() {
+		w.Close()
+		return nil, fmt.Errorf("fabric: worker worlds must retain all flows (leases resume via the checkpoint path); build them with the default retain=all")
+	}
+	return w, nil
+}
+
+// coordinator owns the lease table, the tag dedupe and the reducer. Its
+// clock is the coordinator world's virtual clock; nothing else advances
+// it during a fabric run, so lease deadlines only expire when the
+// janitor deliberately advances to them.
+type coordinator struct {
+	world      *core.World
+	clock      *vclock.Clock
+	timeout    time.Duration
+	staleAfter time.Duration
+
+	mu          sync.Mutex
+	lanes       []*lane
+	skipped     []string
+	byTag       map[int64]*leaseSlot
+	lastTag     int64
+	wake        chan struct{}
+	stats       Stats
+	parkedFlows int
+}
+
+// lane is one browser's strictly-sequential lease chain.
+type lane struct {
+	name  string
+	idx   int
+	slots []*leaseSlot
+	next  int // first un-accepted slot; only it can be in flight
+
+	// Reducer state, written on accept only.
+	state    *browser.SessionState
+	flowSeq  int64
+	visits   []core.VisitRecord
+	retries  int
+	degraded int
+	errors   int
+}
+
+type leaseState int
+
+const (
+	leasePending leaseState = iota
+	leaseInflight
+	leaseDone
+)
+
+// leaseSlot is one lease's slot in the plan; a reclaim re-issues the
+// same slot under a fresh tag.
+type leaseSlot struct {
+	lane  *lane
+	seq   int
+	sites []*websim.Site
+
+	state     leaseState
+	tag       int64
+	deadline  time.Time // vclock deadline, refreshed by heartbeats/batches
+	lastEvent time.Time // wall clock of the last event; staleness gate
+	reclaimed chan struct{}
+	parked    []*capture.Flow // shipped, unmerged flows of the current issue
+}
+
+var (
+	mLeaseIssued    = obs.Default.Counter("fabric_lease_issued_total")
+	mLeaseReclaimed = obs.Default.Counter("fabric_lease_reclaimed_total")
+	mLeaseDuplicate = obs.Default.Counter("fabric_lease_duplicate_total")
+	mWorkerRestarts = obs.Default.Counter("fabric_worker_restarts_total")
+	mMergeLag       = obs.Default.Gauge("fabric_merge_lag")
+	mQuarantined    = obs.Default.Counter("fabric_flows_quarantined_total")
+)
+
+func (c *coordinator) doneLocked() bool {
+	for _, ln := range c.lanes {
+		if ln.next < len(ln.slots) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *coordinator) done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.doneLocked()
+}
+
+func (c *coordinator) addRestart() {
+	c.mu.Lock()
+	c.stats.WorkerRestarts++
+	c.mu.Unlock()
+	mWorkerRestarts.Inc()
+}
+
+func (c *coordinator) statsCopy() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *coordinator) signalLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// acquire hands the caller the next issuable lease, blocking until one
+// frees up (an accept unblocks the lane's next lease; a reclaim re-opens
+// a slot). The second return is true when the plan is fully committed.
+func (c *coordinator) acquire() (*lease, bool) {
+	c.mu.Lock()
+	for {
+		if c.doneLocked() {
+			c.mu.Unlock()
+			return nil, true
+		}
+		for _, ln := range c.lanes {
+			if ln.next >= len(ln.slots) {
+				continue
+			}
+			slot := ln.slots[ln.next]
+			if slot.state != leasePending {
+				continue
+			}
+			c.lastTag++
+			slot.state = leaseInflight
+			slot.tag = c.lastTag
+			slot.deadline = c.clock.Now().Add(c.timeout)
+			slot.lastEvent = time.Now()
+			slot.reclaimed = make(chan struct{})
+			slot.parked = nil
+			c.byTag[slot.tag] = slot
+			c.stats.LeasesIssued++
+			l := &lease{
+				Browser:   ln.name,
+				Seq:       slot.seq,
+				Sites:     slot.sites,
+				State:     ln.state,
+				Tag:       slot.tag,
+				reclaimed: slot.reclaimed,
+			}
+			c.mu.Unlock()
+			mLeaseIssued.Inc()
+			return l, false
+		}
+		wait := c.wake
+		c.mu.Unlock()
+		<-wait
+		c.mu.Lock()
+	}
+}
+
+// deliver is the transport's terminal: every worker message lands here.
+// The tag dedupe quarantines anything from a reclaimed issue.
+func (c *coordinator) deliver(m message) {
+	c.mu.Lock()
+	slot := c.byTag[m.tag]
+	if slot == nil || slot.state != leaseInflight {
+		// Stale generation: a reclaimed-then-returned lease. Its flows
+		// are quarantined exactly like a retracted attempt; a duplicate
+		// completion is dropped so a visit is never double-counted.
+		c.stats.DuplicateDrops++
+		if len(m.flows) > 0 {
+			c.stats.FlowsQuarantined += len(m.flows)
+		}
+		c.mu.Unlock()
+		mLeaseDuplicate.Inc()
+		for _, f := range m.flows {
+			mQuarantined.Inc()
+			f.Release()
+		}
+		return
+	}
+	slot.lastEvent = time.Now()
+	slot.deadline = c.clock.Now().Add(c.timeout)
+	switch m.kind {
+	case msgHeartbeat:
+	case msgFlows:
+		slot.parked = append(slot.parked, m.flows...)
+		c.parkedFlows += len(m.flows)
+		mMergeLag.Set(float64(c.parkedFlows))
+	case msgComplete:
+		c.acceptLocked(slot, m.result)
+	}
+	c.signalLocked()
+	c.mu.Unlock()
+}
+
+// acceptLocked commits one lease: the reducer renumbers the parked flows
+// into the lane's ID space in commit order and replays them into the
+// coordinator's capture DB (whose tap feeds the streaming suite and the
+// export plane), then advances the lane to its next lease.
+func (c *coordinator) acceptLocked(slot *leaseSlot, res *leaseResult) {
+	if res == nil || res.flowCount != len(slot.parked) {
+		// The transport lost a batch (or delivered a malformed
+		// completion): the issue is not trustworthy. Reclaim it now; the
+		// lease is re-issued and re-run from the accepted state.
+		c.reclaimLocked(slot)
+		return
+	}
+	ln := slot.lane
+	flows := slot.parked
+	slot.parked = nil
+	c.parkedFlows -= len(flows)
+	mMergeLag.Set(float64(c.parkedFlows))
+	delete(c.byTag, slot.tag)
+	slot.state = leaseDone
+
+	base := int64(ln.idx+1) << 40
+	for _, f := range flows {
+		ln.flowSeq++
+		f.ID = base + ln.flowSeq
+		f.Attempt = 0
+		c.world.DB.StoreFor(f.Origin).Add(f)
+		f.Release()
+	}
+	c.stats.FlowsMerged += len(flows)
+	ln.visits = append(ln.visits, res.visits...)
+	ln.state = res.state
+	ln.retries += res.retries
+	ln.degraded += res.degraded
+	ln.errors += res.errors
+	ln.next++
+}
+
+// reclaimLocked expires one in-flight issue: parked flows are
+// quarantined, the issue's tag is retired (later messages bounce off the
+// dedupe) and the slot re-opens for re-issue.
+func (c *coordinator) reclaimLocked(slot *leaseSlot) {
+	delete(c.byTag, slot.tag)
+	c.stats.FlowsQuarantined += len(slot.parked)
+	c.parkedFlows -= len(slot.parked)
+	mMergeLag.Set(float64(c.parkedFlows))
+	for _, f := range slot.parked {
+		mQuarantined.Inc()
+		f.Release()
+	}
+	slot.parked = nil
+	slot.state = leasePending
+	close(slot.reclaimed)
+	c.stats.LeasesReclaimed++
+	mLeaseReclaimed.Inc()
+}
+
+// tick is the janitor pass: find in-flight leases whose workers have
+// gone wall-clock silent, advance the coordinator clock to the earliest
+// such deadline, and reclaim every stale lease the deadline sweep
+// expired. Live workers refresh lastEvent with every batch and
+// heartbeat, so they are never swept.
+func (c *coordinator) tick() {
+	wall := time.Now()
+	var target time.Time
+	c.mu.Lock()
+	for _, ln := range c.lanes {
+		if ln.next >= len(ln.slots) {
+			continue
+		}
+		slot := ln.slots[ln.next]
+		if slot.state != leaseInflight || wall.Sub(slot.lastEvent) < c.staleAfter {
+			continue
+		}
+		if target.IsZero() || slot.deadline.Before(target) {
+			target = slot.deadline
+		}
+	}
+	c.mu.Unlock()
+	if target.IsZero() {
+		return
+	}
+	if target.After(c.clock.Now()) {
+		c.clock.AdvanceTo(target)
+	}
+
+	now := c.clock.Now()
+	wall = time.Now()
+	c.mu.Lock()
+	changed := false
+	for _, ln := range c.lanes {
+		if ln.next >= len(ln.slots) {
+			continue
+		}
+		slot := ln.slots[ln.next]
+		if slot.state != leaseInflight || wall.Sub(slot.lastEvent) < c.staleAfter {
+			continue
+		}
+		if slot.deadline.After(now) {
+			continue
+		}
+		c.reclaimLocked(slot)
+		changed = true
+	}
+	if changed {
+		c.signalLocked()
+	}
+	c.mu.Unlock()
+}
+
+// result assembles the merged campaign result in plan order — the same
+// browser-major, site-ordered merge the single-process scheduler does.
+func (c *coordinator) result() *core.CampaignResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := &core.CampaignResult{Skipped: c.skipped}
+	for _, ln := range c.lanes {
+		res.Visits = append(res.Visits, ln.visits...)
+		res.Retries += ln.retries
+		res.Degraded += ln.degraded
+		res.Errors += ln.errors
+	}
+	return res
+}

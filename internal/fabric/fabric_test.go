@@ -1,0 +1,394 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"panoptes/internal/breaker"
+	"panoptes/internal/core"
+	"panoptes/internal/faultsim"
+	"panoptes/internal/leak"
+	"panoptes/internal/profiles"
+)
+
+// fabricBrowsers mirrors the core fault-test trio: Chrome and Brave are
+// CDP-instrumented, UC International is Frida-instrumented, so both
+// instrumentation paths cross the fabric.
+var fabricBrowsers = []string{"Chrome", "Brave", "UC International"}
+
+// newPlane builds one measurement plane (coordinator or worker) hosting
+// the same site dataset. The caller owns Close.
+func newPlane(t *testing.T, sites int) *core.World {
+	t.Helper()
+	var profs []*profiles.Profile
+	for _, n := range fabricBrowsers {
+		p := profiles.ByName(n)
+		if p == nil {
+			t.Fatalf("no profile %q", n)
+		}
+		profs = append(profs, p)
+	}
+	w, err := core.NewWorld(core.WorldConfig{Sites: sites, Profiles: profs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// suiteResults snapshots every streaming analysis. Flow IDs are
+// process-global ticket numbers (the fabric renumbers merged flows into
+// per-lane ID spaces), so leak findings have theirs scrubbed before
+// comparison — the same normalization the core determinism tests use.
+func suiteResults(w *core.World) map[string]any {
+	scrub := func(fs []leak.Finding) []leak.Finding {
+		for i := range fs {
+			fs[i].FlowID = 0
+		}
+		return fs
+	}
+	body, query := w.Suite.Listing1.Result()
+	return map[string]any{
+		"fig2":         w.Suite.Fig2.Rows(),
+		"fig3":         w.Suite.Fig3.Rows(),
+		"fig4":         w.Suite.Fig4.Rows(),
+		"table2":       w.Suite.PII.Matrix(),
+		"leaks-native": scrub(w.Suite.LeakNative.Findings()),
+		"leaks-engine": scrub(w.Suite.LeakEngine.Findings()),
+		"dns":          w.Suite.DNS.Usage(),
+		"trackable":    w.Suite.Trackable.IDs(),
+		"listing1":     [2]string{body, query},
+	}
+}
+
+func assertSameSuite(t *testing.T, label string, got, want map[string]any) {
+	t.Helper()
+	for name := range want {
+		wj, err := json.Marshal(want[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := json.Marshal(got[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wj, gj) {
+			t.Errorf("%s: %s diverges from the single-process baseline:\nfabric   %s\nbaseline %s", label, name, gj, wj)
+		}
+	}
+}
+
+// assertVisitsOnce verifies the zero-lost/zero-double-counted contract:
+// every (browser, url) pair in the plan appears exactly once.
+func assertVisitsOnce(t *testing.T, label string, res *core.CampaignResult, sites int) {
+	t.Helper()
+	seen := make(map[[2]string]int)
+	for _, v := range res.Visits {
+		seen[[2]string{v.Browser, v.URL}]++
+	}
+	if want := len(fabricBrowsers) * sites; len(res.Visits) != want {
+		t.Errorf("%s: %d visit records, want %d", label, len(res.Visits), want)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("%s: visit %v counted %d times", label, k, n)
+		}
+	}
+}
+
+// TestFabricDeterminism is the fabric keystone: 1-, 2- and 8-worker
+// topologies — plus a 4-worker chaos topology where faultsim kills
+// workers mid-lease and drops transport sends — must produce
+// byte-identical analyses and identical visit records to the
+// single-process baseline, with every visit committed exactly once.
+func TestFabricDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology crawl matrix")
+	}
+	const sites = 6
+
+	base := newPlane(t, sites)
+	t.Cleanup(base.Close)
+	campaign := core.CampaignConfig{
+		Browsers:        fabricBrowsers,
+		NavigateTimeout: 20 * time.Second,
+	}
+	baseRes, err := base.RunCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.Errors != 0 {
+		t.Fatalf("baseline had %d errors: %+v", baseRes.Errors, baseRes.Visits)
+	}
+	baseSuite := suiteResults(base)
+
+	variants := []struct {
+		name    string
+		workers int
+		faults  *faultsim.Injector
+	}{
+		{name: "workers=1", workers: 1},
+		{name: "workers=2", workers: 2},
+		{name: "workers=8", workers: 8},
+		{name: "workers=4/kill", workers: 4, faults: faultsim.New(faultsim.Plan{
+			Seed: 42,
+			// Every initial worker dies mid-lease on its first lease (at
+			// least three of the four acquire one immediately); their
+			// half-run leases are reclaimed and re-issued to clean
+			// replacement workers. Transport drops exercise failover on
+			// top.
+			Scripted: []faultsim.ScriptedFault{
+				{Kind: faultsim.WorkerCrash, Browser: "w1", Attempt: 1},
+				{Kind: faultsim.WorkerCrash, Browser: "w2", Attempt: 1},
+				{Kind: faultsim.WorkerCrash, Browser: "w3", Attempt: 1},
+				{Kind: faultsim.WorkerCrash, Browser: "w4", Attempt: 1},
+			},
+			ChaosRates: map[faultsim.Kind]float64{faultsim.TransportDrop: 0.1},
+		})},
+	}
+	for _, v := range variants {
+		coord := newPlane(t, sites)
+		t.Cleanup(coord.Close)
+		res, err := Run(Config{
+			World:          coord,
+			NewWorkerWorld: func() (*core.World, error) { return newPlane(t, sites), nil },
+			Workers:        v.workers,
+			LeaseVisits:    2,
+			Campaign:       campaign,
+			Faults:         v.faults,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		assertVisitsOnce(t, v.name, res.Campaign, sites)
+		if !reflect.DeepEqual(res.Campaign.Visits, baseRes.Visits) {
+			t.Errorf("%s: visit records diverge from baseline:\nfabric   %+v\nbaseline %+v", v.name, res.Campaign.Visits, baseRes.Visits)
+		}
+		assertSameSuite(t, v.name, suiteResults(coord), baseSuite)
+
+		wantLeases := len(fabricBrowsers) * ((sites + 1) / 2)
+		if res.Stats.LeasesIssued < wantLeases {
+			t.Errorf("%s: %d leases issued, want >= %d", v.name, res.Stats.LeasesIssued, wantLeases)
+		}
+		if v.faults == nil {
+			if res.Stats.LeasesReclaimed != 0 || res.Stats.WorkerRestarts != 0 {
+				t.Errorf("%s: clean topology reclaimed %d leases / restarted %d workers",
+					v.name, res.Stats.LeasesReclaimed, res.Stats.WorkerRestarts)
+			}
+		} else {
+			// Three of the four initial workers grab the first leases and
+			// die mid-lease; the fourth crashes on whichever lease it
+			// eventually gets.
+			if res.Stats.LeasesReclaimed < 3 {
+				t.Errorf("%s: %d leases reclaimed, want >= 3", v.name, res.Stats.LeasesReclaimed)
+			}
+			if res.Stats.WorkerRestarts < 3 {
+				t.Errorf("%s: %d worker restarts, want >= 3", v.name, res.Stats.WorkerRestarts)
+			}
+			if res.Stats.FlowsQuarantined == 0 {
+				t.Errorf("%s: killed workers shipped partial leases but nothing was quarantined", v.name)
+			}
+		}
+	}
+}
+
+// TestFabricStallDuplicateDrop pins the reclaimed-then-returned path
+// deterministically: a single worker runs its lease fully, stalls past
+// the deadline, and submits the completion only after the coordinator
+// reclaimed and re-issued the lease. The stale completion must bounce
+// off the tag dedupe, the re-run must be the only accepted one, and the
+// analyses must still match a single-process run.
+func TestFabricStallDuplicateDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two crawls")
+	}
+	const sites = 2
+	newChrome := func() *core.World {
+		w, err := core.NewWorld(core.WorldConfig{
+			Sites:    sites,
+			Profiles: []*profiles.Profile{profiles.ByName("Chrome")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	base := newChrome()
+	t.Cleanup(base.Close)
+	campaign := core.CampaignConfig{Browsers: []string{"Chrome"}, NavigateTimeout: 20 * time.Second}
+	baseRes, err := base.RunCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := newChrome()
+	t.Cleanup(coord.Close)
+	res, err := Run(Config{
+		World:          coord,
+		NewWorkerWorld: func() (*core.World, error) { return newChrome(), nil },
+		Workers:        1,
+		LeaseVisits:    sites, // one lease covers the whole plan
+		Campaign:       campaign,
+		Faults: faultsim.New(faultsim.Plan{Seed: 1, Scripted: []faultsim.ScriptedFault{
+			{Kind: faultsim.WorkerStall, Browser: "w1", Attempt: 1},
+		}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LeasesReclaimed == 0 {
+		t.Error("stalled lease was never reclaimed")
+	}
+	if res.Stats.DuplicateDrops == 0 {
+		t.Error("the stale completion was not rejected by the tag dedupe")
+	}
+	if res.Stats.WorkerRestarts == 0 {
+		t.Error("the stalled worker was not replaced")
+	}
+	if res.Stats.FlowsQuarantined == 0 {
+		t.Error("the stalled issue's shipped flows were not quarantined")
+	}
+	if !reflect.DeepEqual(res.Campaign.Visits, baseRes.Visits) {
+		t.Errorf("visit records diverge:\nfabric   %+v\nbaseline %+v", res.Campaign.Visits, baseRes.Visits)
+	}
+	seen := make(map[string]int)
+	for _, v := range res.Campaign.Visits {
+		seen[v.URL]++
+	}
+	for url, n := range seen {
+		if n != 1 {
+			t.Errorf("visit %s counted %d times after the duplicate completion", url, n)
+		}
+	}
+	assertSameSuite(t, "stall", suiteResults(coord), suiteResults(base))
+}
+
+// TestFabricPlanPartition checks the lease math without faults: leases
+// per browser = ceil(sites/LeaseVisits), all issued exactly once.
+func TestFabricPlanPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crawl")
+	}
+	const sites = 6
+	coord := newPlane(t, sites)
+	t.Cleanup(coord.Close)
+	res, err := Run(Config{
+		World:          coord,
+		NewWorkerWorld: func() (*core.World, error) { return newPlane(t, sites), nil },
+		Workers:        2,
+		LeaseVisits:    4,
+		Campaign: core.CampaignConfig{
+			Browsers:        fabricBrowsers,
+			NavigateTimeout: 20 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 sites at 4 visits per lease = 2 leases per browser, 3 browsers.
+	if res.Stats.LeasesIssued != 6 {
+		t.Errorf("LeasesIssued = %d, want 6", res.Stats.LeasesIssued)
+	}
+	if res.Stats.DuplicateDrops != 0 || res.Stats.LeasesReclaimed != 0 {
+		t.Errorf("clean run had %d duplicate drops / %d reclaims", res.Stats.DuplicateDrops, res.Stats.LeasesReclaimed)
+	}
+	assertVisitsOnce(t, "partition", res.Campaign, sites)
+}
+
+// TestTransportModes unit-tests the client against stub endpoints: the
+// failover mode sticks to one endpoint until it fails, round-robin
+// rotates, and an endpoint with a tripped breaker is skipped without a
+// send attempt.
+func TestTransportModes(t *testing.T) {
+	now := time.Date(2023, time.May, 12, 9, 0, 0, 0, time.UTC)
+	build := func(mode TransportMode, fail map[string]bool) (*client, map[string]*int) {
+		counts := make(map[string]*int)
+		cl := &client{mode: mode, now: func() time.Time { return now }}
+		for _, name := range []string{"ep0", "ep1"} {
+			n := new(int)
+			counts[name] = n
+			name := name
+			cl.endpoints = append(cl.endpoints, &endpoint{
+				name: name,
+				fault: func(ep string) error {
+					if fail[ep] {
+						return errDrop
+					}
+					return nil
+				},
+				deliver: func(message) { *n++ },
+			})
+			cl.breakers = append(cl.breakers, breakerForTest())
+		}
+		return cl, counts
+	}
+
+	// Failover: all sends stick to ep0 while it is healthy.
+	cl, counts := build(ModeFailover, map[string]bool{})
+	for i := 0; i < 4; i++ {
+		if err := cl.send(message{kind: msgHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *counts["ep0"] != 4 || *counts["ep1"] != 0 {
+		t.Fatalf("failover spread = %d/%d, want 4/0", *counts["ep0"], *counts["ep1"])
+	}
+
+	// Failover: ep0 dies, the client moves to ep1 and stays there.
+	fail := map[string]bool{"ep0": true}
+	cl, counts = build(ModeFailover, fail)
+	for i := 0; i < 3; i++ {
+		if err := cl.send(message{kind: msgHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *counts["ep1"] != 3 || *counts["ep0"] != 0 {
+		t.Fatalf("failover after death = %d/%d, want 0/3", *counts["ep0"], *counts["ep1"])
+	}
+
+	// Round-robin alternates.
+	cl, counts = build(ModeRoundRobin, map[string]bool{})
+	for i := 0; i < 4; i++ {
+		if err := cl.send(message{kind: msgHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *counts["ep0"] != 2 || *counts["ep1"] != 2 {
+		t.Fatalf("round-robin spread = %d/%d, want 2/2", *counts["ep0"], *counts["ep1"])
+	}
+
+	// Both endpoints dead: send fails, and once both breakers trip the
+	// fault hook is not even consulted any more.
+	fail = map[string]bool{"ep0": true, "ep1": true}
+	cl, _ = build(ModeFailover, fail)
+	hookCalls := 0
+	for i := range cl.endpoints {
+		inner := cl.endpoints[i].fault
+		cl.endpoints[i].fault = func(ep string) error {
+			hookCalls++
+			return inner(ep)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := cl.send(message{kind: msgHeartbeat}); err == nil {
+			t.Fatal("send with every endpoint dead must fail")
+		}
+	}
+	// Threshold 2: each endpoint is tried twice, then its breaker holds
+	// it open — the remaining sends consult nothing.
+	if hookCalls != 4 {
+		t.Fatalf("fault hook consulted %d times, want 4 (2 per endpoint before the breakers opened)", hookCalls)
+	}
+}
+
+func breakerForTest() *breaker.Breaker {
+	return breaker.New(transportBreakerThreshold, transportBreakerCooldown)
+}
+
+var errDrop = faultsimError("dropped")
+
+type faultsimError string
+
+func (e faultsimError) Error() string { return string(e) }

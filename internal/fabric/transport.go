@@ -1,0 +1,148 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"panoptes/internal/breaker"
+	"panoptes/internal/capture"
+	"panoptes/internal/core"
+	"panoptes/internal/obs"
+)
+
+// TransportMode selects how a worker spreads sends across its
+// endpoints, mirroring the beats-style output modes: failover keeps one
+// active endpoint with the rest as standbys; round-robin rotates across
+// all of them.
+type TransportMode string
+
+const (
+	ModeFailover   TransportMode = "failover"
+	ModeRoundRobin TransportMode = "roundrobin"
+)
+
+// ParseMode validates a -fabric-mode style flag value.
+func ParseMode(s string) (TransportMode, error) {
+	switch TransportMode(s) {
+	case ModeFailover, ModeRoundRobin:
+		return TransportMode(s), nil
+	default:
+		return "", fmt.Errorf("fabric: unknown transport mode %q (want failover or roundrobin)", s)
+	}
+}
+
+type msgKind int
+
+const (
+	msgHeartbeat msgKind = iota
+	msgFlows
+	msgComplete
+)
+
+// message is one worker→coordinator transport frame. Flows carry a
+// shipment reference each; whoever terminates the message (the
+// coordinator, or the sender on a failed send) releases them.
+type message struct {
+	kind   msgKind
+	tag    int64
+	flows  []*capture.Flow
+	result *leaseResult
+}
+
+// endpoint is one in-memory worker→coordinator connection. deliver is
+// the coordinator's intake; fault is the injectable TransportDrop hook,
+// consulted before delivery so a dropped message is never half-applied.
+type endpoint struct {
+	name    string
+	fault   func(endpoint string) error
+	deliver func(message)
+}
+
+func (e *endpoint) send(m message) error {
+	if e.fault != nil {
+		if err := e.fault(e.name); err != nil {
+			return err
+		}
+	}
+	e.deliver(m)
+	return nil
+}
+
+var (
+	mSendOK  = obs.Default.Counter("fabric_transport_sends_total", "result", "ok")
+	mSendErr = obs.Default.Counter("fabric_transport_sends_total", "result", "error")
+)
+
+// client fans one worker's messages across its endpoints. Every
+// endpoint is health-gated by its own circuit breaker (driven by the
+// worker's virtual clock); a failed send records the failure and moves
+// on to the next endpoint with the same message, so a single drop costs
+// a failover, not a flow.
+type client struct {
+	mode      TransportMode
+	endpoints []*endpoint
+	breakers  []*breaker.Breaker
+	now       func() time.Time
+
+	mu   sync.Mutex
+	next int // failover: the active endpoint; round-robin: the cursor
+}
+
+// transport health gating: open after 2 consecutive failed sends, probe
+// again after 15 virtual seconds (the worker clock advances with every
+// visit, so a cooldown spans a couple of visits).
+const (
+	transportBreakerThreshold = 2
+	transportBreakerCooldown  = 15 * time.Second
+)
+
+func newClient(mode TransportMode, c *coordinator, cfg *Config, workerID string, w *core.World) *client {
+	cl := &client{mode: mode, now: w.Clock.Now}
+	for i := 0; i < cfg.Endpoints; i++ {
+		cl.endpoints = append(cl.endpoints, &endpoint{
+			name:    fmt.Sprintf("%s/ep%d", workerID, i),
+			fault:   cfg.Faults.TransportFault,
+			deliver: c.deliver,
+		})
+		cl.breakers = append(cl.breakers, breaker.New(transportBreakerThreshold, transportBreakerCooldown))
+	}
+	return cl
+}
+
+// send delivers m through the first healthy endpoint, failing over on
+// error. It returns an error only when every endpoint failed or was
+// breaker-refused — the message is then undelivered and the caller owns
+// its flow references again.
+func (cl *client) send(m message) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := len(cl.endpoints)
+	start := cl.next
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		br := cl.breakers[idx]
+		if !br.Allow(cl.now()) {
+			continue
+		}
+		err := cl.endpoints[idx].send(m)
+		br.Record(err == nil, cl.now())
+		if err == nil {
+			switch cl.mode {
+			case ModeRoundRobin:
+				cl.next = (idx + 1) % n
+			default: // failover sticks with the endpoint that worked
+				cl.next = idx
+			}
+			mSendOK.Inc()
+			return nil
+		}
+		lastErr = err
+	}
+	mSendErr.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("fabric: every endpoint breaker is open")
+	}
+	return lastErr
+}

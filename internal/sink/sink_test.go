@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -432,6 +433,49 @@ func TestFileSinkRotatesAndRoundTrips(t *testing.T) {
 	}
 	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
 		t.Fatalf("segments must round-trip all flows in order, got %v", ids)
+	}
+}
+
+func TestFileSinkOversizedBatchStaysWhole(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFileSink(dir)
+	fs.RotateBytes = 64 // far below one big batch's compressed size
+
+	// A single batch larger than the whole segment budget must land in
+	// one segment, intact and in order — the budget is checked after the
+	// batch is written, never by splitting a batch across segments.
+	big := make([]Envelope, 40)
+	for i := range big {
+		f := flow(int64(i+1), 0)
+		f.Path = fmt.Sprintf("/batch/%d/%x", i, i*2654435761) // defeat gzip a little
+		big[i] = Envelope{Seq: uint64(i + 1), Type: TypeFlow, Flow: f}
+	}
+	if err := fs.Publish(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Publish([]Envelope{{Seq: 100, Type: TypeFlow, Flow: flow(100, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	paths := fs.SegmentPaths()
+	if len(paths) != 2 {
+		t.Fatalf("oversized batch then small batch: want 2 segments, got %d (%v)", len(paths), paths)
+	}
+	first := readSegment(t, paths[0])
+	if len(first) != len(big) {
+		t.Fatalf("segment 0 holds %d envelopes, want the whole %d-envelope batch", len(first), len(big))
+	}
+	for i, env := range first {
+		if env.Seq != uint64(i+1) {
+			t.Fatalf("segment 0 out of order at %d: seq %d", i, env.Seq)
+		}
+	}
+	second := readSegment(t, paths[1])
+	if len(second) != 1 || second[0].Seq != 100 {
+		t.Fatalf("segment 1 must hold only the follow-up batch, got %+v", second)
 	}
 }
 

@@ -44,9 +44,11 @@ echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
 # every failed visit classified, and the determinism keystones must hold
 # across straight/resumed runs at parallelism 1 and 8 — including the
 # data-plane contract: warm (resumed TLS + pooled conns, with injected
-# pool poison) campaigns byte-identical to the cold full-handshake path.
-go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism|TestDataPlaneDeterminism' \
-    ./internal/core/ ./internal/faultsim/
+# pool poison) campaigns byte-identical to the cold full-handshake path,
+# and the fabric contract: 1/2/8-worker topologies, including the
+# worker-kill chaos variant, byte-identical to the single-process run.
+go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism|TestDataPlaneDeterminism|TestFabricDeterminism' \
+    ./internal/core/ ./internal/faultsim/ ./internal/fabric/
 
 echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N, warm vs cold data plane)"
 crawl_out=$(go test -run '^$' -bench CrawlScaling -benchtime=1x .)
@@ -77,6 +79,7 @@ $0 ~ "^Benchmark(" pattern ")" {
         if ($(i) == "allocs/visit")           row = row ", \"allocs_per_visit\": \"" $(i - 1) "\""
         if ($(i) == "handshake_resumed_pct")  row = row ", \"handshake_resumed_pct\": \"" $(i - 1) "\""
         if ($(i) == "conn_reuse_pct")         row = row ", \"conn_reuse_pct\": \"" $(i - 1) "\""
+        if ($(i) == "lease_reclaims")         row = row ", \"lease_reclaims\": \"" $(i - 1) "\""
     }
     row = row "}"
     if (!first) printf ",\n"
@@ -93,6 +96,15 @@ echo "wrote BENCH_leakscan.json"
 # allocs/visit, and the handshake-resumed / conn-reuse rates.
 echo "$crawl_out" | emit_bench_json "CrawlScaling" > BENCH_crawl.json
 echo "wrote BENCH_crawl.json"
+
+echo "==> benchmark smoke: fabric scaling (visits/sec at 1/2/8 workers + worker-kill reclamation)"
+# The fabric baseline pins distributed throughput (8 workers must hold
+# ≥3× the 1-worker visits/sec) and proves lease reclamation fires under
+# the scripted worker-kill topology (nonzero lease_reclaims).
+fabric_out=$(go test -run '^$' -bench FabricScaling -benchtime=1x ./internal/fabric/)
+echo "$fabric_out"
+echo "$fabric_out" | emit_bench_json "FabricScaling" > BENCH_fabric.json
+echo "wrote BENCH_fabric.json"
 
 echo "==> benchmark smoke: sink throughput (flows/sec into a slow sink, queue bound, allocs/op)"
 sink_out=$(go test -run '^$' -bench SinkThroughput -benchmem -benchtime=1x ./internal/sink/)
