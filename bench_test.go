@@ -620,6 +620,20 @@ func BenchmarkCrawlScaling(b *testing.B) {
 			if ex := reused + dialed; ex > 0 {
 				b.ReportMetric(100*float64(reused)/float64(ex), "conn_reuse_pct")
 			}
+			// Per-transport throughput: how much of the capture rate each
+			// data-plane protocol contributes (the streaming suite's rows
+			// are per-world, unlike the process-global obs counters).
+			var h1, h2, ws, doh int
+			for _, r := range w.Suite.Transport.Rows() {
+				h1 += r.H1
+				h2 += r.H2
+				ws += r.WS
+				doh += r.DoH
+			}
+			b.ReportMetric(float64(h1)/elapsed, "h1_flows/sec")
+			b.ReportMetric(float64(h2)/elapsed, "h2_flows/sec")
+			b.ReportMetric(float64(ws)/elapsed, "ws_flows/sec")
+			b.ReportMetric(float64(doh)/elapsed, "doh_flows/sec")
 			w.Close()
 		}
 	}

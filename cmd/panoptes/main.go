@@ -66,6 +66,9 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", 0, "virtual-clock lease deadline before a silent worker's lease is reclaimed (with -workers; default 2m)")
 		fabricMode   = flag.String("fabric-mode", "failover", "worker transport spread: failover or roundrobin (with -workers)")
 
+		transportsF = flag.String("transports", "", "comma-separated data-plane transports to dissect: h1,h2,ws,doh (default: all; h1 always on)")
+		blockH3     = flag.Bool("block-h3", true, "install the UDP/443 drop rule forcing QUIC-capable browsers onto interceptable TCP (false = ablation: QUIC traffic bypasses capture)")
+
 		all      = flag.Bool("all", false, "produce every figure and table")
 		table1   = flag.Bool("table1", false, "Table 1: browser dataset")
 		fig2     = flag.Bool("fig2", false, "Figure 2: engine vs native request counts")
@@ -110,6 +113,21 @@ func main() {
 			fatalf("%v", err)
 		}
 		fabricTransport = m
+	}
+
+	var transportList []string
+	if *transportsF != "" {
+		known := map[string]bool{
+			capture.TransportH1: true, capture.TransportH2: true,
+			capture.TransportWS: true, capture.TransportDoH: true,
+		}
+		for _, t := range strings.Split(*transportsF, ",") {
+			t = strings.TrimSpace(strings.ToLower(t))
+			if !known[t] {
+				fatalf("unknown transport %q (known: h1, h2, ws, doh)", t)
+			}
+			transportList = append(transportList, t)
+		}
 	}
 
 	if *all {
@@ -170,8 +188,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "panoptes: assembling testbed (%d sites, %d browsers)...\n", *sites, len(selected))
 	w, err := core.NewWorld(core.WorldConfig{
 		Sites: *sites, Profiles: selected, Retain: retainMode,
-		Sinks:      sinks,
-		SinkConfig: sink.Config{BatchSize: *sinkBatch, Queue: *sinkQueue, Policy: policy},
+		Sinks:          sinks,
+		SinkConfig:     sink.Config{BatchSize: *sinkBatch, Queue: *sinkQueue, Policy: policy},
+		Transports:     transportList,
+		DisableH3Block: !*blockH3,
 	})
 	if err != nil {
 		fatalf("world: %v", err)
@@ -227,7 +247,10 @@ func main() {
 			fres, err := fabric.Run(fabric.Config{
 				World: w,
 				NewWorkerWorld: func() (*core.World, error) {
-					ww, err := core.NewWorld(core.WorldConfig{Sites: *sites, Profiles: selected})
+					ww, err := core.NewWorld(core.WorldConfig{
+						Sites: *sites, Profiles: selected,
+						Transports: transportList, DisableH3Block: !*blockH3,
+					})
 					if err != nil {
 						return nil, err
 					}
@@ -320,6 +343,8 @@ func main() {
 	}
 	if *table2 {
 		report.Table2(os.Stdout, w.Suite.PII.Matrix(), names)
+		fmt.Println()
+		report.Transports(os.Stdout, w.Suite.Transport.Rows())
 		fmt.Println()
 	}
 	var findings []leak.Finding

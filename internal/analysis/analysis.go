@@ -94,6 +94,31 @@ func Fig4(db *capture.DB, browsers []string) []Fig4Row {
 	return a.Rows()
 }
 
+// TransportRow is one browser's per-transport flow coverage: how much
+// of its captured traffic rode each data-plane protocol, and therefore
+// what an h1-only interception plane would have missed.
+type TransportRow struct {
+	Browser string `json:"browser"`
+	H1      int    `json:"h1"`
+	H2      int    `json:"h2"`
+	WS      int    `json:"ws"`
+	DoH     int    `json:"doh"`
+	Total   int    `json:"total"`
+}
+
+// TransportCoverage counts flows per browser and transport by replaying
+// both databases through a TransportAnalyzer.
+func TransportCoverage(db *capture.DB, browsers []string) []TransportRow {
+	a := NewTransportAnalyzer(browsers)
+	for _, f := range db.Engine.All() {
+		a.observe(f)
+	}
+	for _, f := range db.Native.All() {
+		a.observe(f)
+	}
+	return a.Rows()
+}
+
 // Fig5Series is one browser's idle timeline (Figure 5).
 type Fig5Series struct {
 	Browser    string

@@ -575,6 +575,83 @@ func (a *Listing1Analyzer) Finalize() any {
 	return [2]string{body, query}
 }
 
+// TransportAnalyzer counts committed flows per browser and transport
+// (h1, h2, ws, doh) — the per-transport coverage matrix that shows which
+// parts of a browser's traffic the capture plane would have missed with
+// a single-transport dissector.
+type TransportAnalyzer struct {
+	browsers []string
+
+	mu     sync.Mutex
+	j      pipeline.Journal
+	counts map[string]map[string]int // browser -> transport -> flows
+}
+
+// NewTransportAnalyzer builds an analyzer producing rows for browsers.
+func NewTransportAnalyzer(browsers []string) *TransportAnalyzer {
+	return &TransportAnalyzer{browsers: browsers, counts: map[string]map[string]int{}}
+}
+
+// Observe tallies one committed flow by its transport tag.
+func (a *TransportAnalyzer) Observe(f *capture.Flow) { a.observe(f) }
+
+func (a *TransportAnalyzer) observe(f *capture.Flow) {
+	t := f.TransportOrDefault()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := f.Browser
+	if a.counts[b] == nil {
+		a.counts[b] = map[string]int{}
+	}
+	a.counts[b][t]++
+	a.j.Note(f.Attempt, func() { a.counts[b][t]-- })
+}
+
+// Retract undoes the attempt's counts.
+func (a *TransportAnalyzer) Retract(attempt int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.j.Retract(attempt)
+}
+
+// Seal discards the attempt's undo log.
+func (a *TransportAnalyzer) Seal(attempt int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.j.Seal(attempt)
+}
+
+// Reset drops all counts.
+func (a *TransportAnalyzer) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts = map[string]map[string]int{}
+	a.j.Reset()
+}
+
+// Rows assembles the coverage rows in browser-list order.
+func (a *TransportAnalyzer) Rows() []TransportRow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rows := make([]TransportRow, 0, len(a.browsers))
+	for _, b := range a.browsers {
+		c := a.counts[b]
+		r := TransportRow{
+			Browser: b,
+			H1:      c[capture.TransportH1],
+			H2:      c[capture.TransportH2],
+			WS:      c[capture.TransportWS],
+			DoH:     c[capture.TransportDoH],
+		}
+		r.Total = r.H1 + r.H2 + r.WS + r.DoH
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Finalize implements pipeline.Analyzer.
+func (a *TransportAnalyzer) Finalize() any { return a.Rows() }
+
 // Suite bundles the full set of streaming analyzers a campaign world
 // registers on its commit tap: every figure, table and leak analysis
 // the batch layer offers, computed incrementally in a single pass.
@@ -590,6 +667,7 @@ type Suite struct {
 	DNS        *DNSAnalyzer
 	Trackable  *TrackableAnalyzer
 	Listing1   *Listing1Analyzer
+	Transport  *TransportAnalyzer
 }
 
 // NewSuite builds the analyzers for the given browser fleet and
@@ -606,6 +684,7 @@ func NewSuite(list *hostlist.List, browsers []string) *Suite {
 		DNS:        NewDNSAnalyzer(browsers),
 		Trackable:  NewTrackableAnalyzer(),
 		Listing1:   NewListing1Analyzer(),
+		Transport:  NewTransportAnalyzer(browsers),
 	}
 }
 
@@ -623,4 +702,5 @@ func (s *Suite) Register(p *pipeline.Pipeline) {
 	p.Register("dns", s.DNS)
 	p.Register("trackable", s.Trackable)
 	p.Register("listing1", s.Listing1)
+	p.Register("transport", s.Transport)
 }

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"panoptes/internal/capture"
 	"panoptes/internal/cdp"
 	"panoptes/internal/device"
 	"panoptes/internal/dnssim"
@@ -73,6 +74,11 @@ type Options struct {
 	// every connection pays a full handshake (ablation; pairs with the
 	// proxy's cold-handshake mode).
 	DisableTLSResume bool
+	// Transports lists the data-plane protocols the campaign enabled
+	// (capture.TransportH1/H2/WS/DoH). Nil enables all; the browser skips
+	// native h2 connections and WebSocket telemetry for transports the
+	// interception plane is not configured to dissect.
+	Transports []string
 }
 
 // Browser is one emulated browser app instance.
@@ -131,6 +137,23 @@ type Browser struct {
 	// and restore it across retries and relaunches.
 	resolveMu    sync.Mutex
 	resolveCache map[string]bool
+
+	// clientTLS is the native stack's TLS template (roots, clock, session
+	// cache); the h2 and WebSocket dialers clone it per connection.
+	clientTLS *tls.Config
+
+	// quicMu guards the per-session QUIC arms-race cache: the first
+	// native contact with an h3-advertising origin probes UDP/443 once
+	// and remembers the outcome ("fallback" or "bypass") for the rest of
+	// the app session. Snapshotted by SessionState so a restore does not
+	// re-probe (and re-count) hosts the session already raced.
+	quicMu    sync.Mutex
+	quicState map[string]string
+
+	// h2Mu serialises the native HTTP/2 connections (one per H2Hosts
+	// entry, persistent across visits like a real h2 session).
+	h2Mu    sync.Mutex
+	h2Conns map[string]*h2NativeConn
 
 	// navMu/navInFlight/navIdle track Navigate calls still running after
 	// their CDP or Frida RPC gave up (a wall-clock timeout abandons the
@@ -400,6 +423,13 @@ func (b *Browser) buildClients() {
 	b.resolveMu.Lock()
 	b.resolveCache = make(map[string]bool)
 	b.resolveMu.Unlock()
+	b.clientTLS = nativeTLS
+	b.quicMu.Lock()
+	b.quicState = make(map[string]string)
+	b.quicMu.Unlock()
+	b.h2Mu.Lock()
+	b.h2Conns = make(map[string]*h2NativeConn)
+	b.h2Mu.Unlock()
 	b.resolve = func(host string) error {
 		b.resolveMu.Lock()
 		if b.resolveCache[host] {
@@ -483,6 +513,7 @@ func (b *Browser) Stop() {
 	if b.nativeClient != nil {
 		b.nativeClient.CloseIdleConnections()
 	}
+	b.closeH2Conns()
 }
 
 // Reset is the Appium factory reset: stop the app and wipe its private
@@ -597,6 +628,12 @@ func (b *Browser) nativeRequest(method, host, path, query, body string) {
 	if query != "" {
 		u += "?" + query
 	}
+	// QUIC arms race: a Chromium-family stack probes UDP/443 first; a
+	// delivered probe means the request leaves over HTTP/3 and never
+	// reaches the TCP interception plane.
+	if b.quicBypass(method, host, u, body) {
+		return
+	}
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
@@ -608,6 +645,16 @@ func (b *Browser) nativeRequest(method, host, path, query, body string) {
 	req.Header.Set("User-Agent", b.Profile.UserAgent())
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if b.useH2(host) {
+		if done := b.h2Request(req); done {
+			return
+		}
+		// ALPN fell back to http/1.1 (h2 disabled at the proxy): reissue
+		// on the ordinary client below.
+		if body != "" {
+			req.Body = io.NopCloser(strings.NewReader(body))
+		}
 	}
 	resp, err := b.nativeClient.Do(req)
 	if err != nil {
@@ -667,6 +714,17 @@ func (b *Browser) onVisitNative(visitURL string) {
 				b.visitCount, strings.Repeat("t", p.NoiseBytes))
 		}
 		b.nativeRequest(method, host, "/beacon", "", body)
+	}
+	// WebSocket push telemetry: the visited URL rides inside a frame, not
+	// an HTTP request line or body.
+	if p.WSTelemetryHost != "" && b.transportOn(capture.TransportWS) {
+		b.wsTelemetry(p.WSTelemetryHost, visitURL)
+	}
+	// DoH PII qname: the device country crosses the wire only as a DNS
+	// label inside the DoH POST body.
+	if p.DoHPIIQname != "" && b.dohClient != nil {
+		qname := strings.ReplaceAll(p.DoHPIIQname, "{CC}", strings.ToLower(TestbedCountry))
+		_, _ = b.dohClient.Lookup(qname)
 	}
 }
 

@@ -28,6 +28,10 @@ type SessionState struct {
 	// EngineResolved is the web engine's per-session resolve log.
 	ResolvedHosts  []string `json:"resolved_hosts,omitempty"`
 	EngineResolved []string `json:"engine_resolved,omitempty"`
+	// QUICProbed is the session's QUIC arms-race cache (host →
+	// "fallback" or "bypass"); restoring it keeps a relaunch from
+	// re-probing (and re-counting) origins the session already raced.
+	QUICProbed map[string]string `json:"quic_probed,omitempty"`
 }
 
 // SessionState captures the current session state.
@@ -55,6 +59,14 @@ func (b *Browser) SessionState() *SessionState {
 	if b.engine != nil {
 		st.EngineResolved = b.engine.ResolvedHosts()
 	}
+	b.quicMu.Lock()
+	if len(b.quicState) > 0 {
+		st.QUICProbed = make(map[string]string, len(b.quicState))
+		for h, s := range b.quicState {
+			st.QUICProbed[h] = s
+		}
+	}
+	b.quicMu.Unlock()
 	return st
 }
 
@@ -105,6 +117,12 @@ func (b *Browser) RestoreSession(st *SessionState) {
 		b.resolveCache[h] = true
 	}
 	b.resolveMu.Unlock()
+	b.quicMu.Lock()
+	b.quicState = make(map[string]string, len(st.QUICProbed))
+	for h, s := range st.QUICProbed {
+		b.quicState[h] = s
+	}
+	b.quicMu.Unlock()
 	if b.engine != nil {
 		b.engine.SetResolvedHosts(st.EngineResolved)
 	}

@@ -196,6 +196,62 @@ func TestHARExport(t *testing.T) {
 	}
 }
 
+// TestHARExportTransport pins the transport identity in HAR output: the
+// negotiated protocol drives httpVersion and the transport/ALPN labels
+// survive in the entry comment, for every data-plane protocol.
+func TestHARExportTransport(t *testing.T) {
+	s := NewStore()
+	add := func(id int64, host, transport, alpn string) {
+		f := mkFlow(id, host, "Chrome", OriginNative, 32)
+		f.Transport = transport
+		f.ALPN = alpn
+		f.Status = 200
+		s.Add(f)
+	}
+	add(1, "update.googleapis.com", TransportH2, "h2")
+	add(2, "push.dolphin-browser.com", TransportWS, "http/1.1")
+	add(3, "dns.google", TransportDoH, "h2")
+	add(4, "plain.example", "", "")
+
+	var buf bytes.Buffer
+	if err := s.WriteHAR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var har HAR
+	if err := json.Unmarshal(buf.Bytes(), &har); err != nil {
+		t.Fatal(err)
+	}
+	if len(har.Log.Entries) != 4 {
+		t.Fatalf("entries = %d", len(har.Log.Entries))
+	}
+	want := []struct {
+		version   string
+		transport string
+		alpn      string
+	}{
+		{"HTTP/2", "transport=h2", "alpn=h2"},
+		{"HTTP/1.1", "transport=ws", "alpn=http/1.1"},
+		{"HTTP/2", "transport=doh", "alpn=h2"},
+		{"HTTP/1.1", "", ""},
+	}
+	for i, w := range want {
+		e := har.Log.Entries[i]
+		if e.Request.HTTPVersion != w.version || e.Response.HTTPVersion != w.version {
+			t.Errorf("entry %d: httpVersion req=%q resp=%q, want %q",
+				i, e.Request.HTTPVersion, e.Response.HTTPVersion, w.version)
+		}
+		if w.transport != "" && !strings.Contains(e.Comment, w.transport) {
+			t.Errorf("entry %d: comment %q missing %q", i, e.Comment, w.transport)
+		}
+		if w.alpn != "" && !strings.Contains(e.Comment, w.alpn) {
+			t.Errorf("entry %d: comment %q missing %q", i, e.Comment, w.alpn)
+		}
+		if w.transport == "" && strings.Contains(e.Comment, "transport=") {
+			t.Errorf("entry %d: legacy flow grew a transport label: %q", i, e.Comment)
+		}
+	}
+}
+
 // Property: any flow survives a JSONL round trip field-for-field.
 func TestPropertyJSONLRoundTrip(t *testing.T) {
 	f := func(id int64, host, browser, query string, body []byte, status int, incog bool) bool {

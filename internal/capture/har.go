@@ -73,12 +73,23 @@ type HARPost struct {
 	Text     string `json:"text"`
 }
 
+// harHTTPVersion maps a flow's transport to the HAR httpVersion string.
+// WebSocket frames and DoH messages ride the HTTP version of the
+// connection that carried them, which the ALPN field names; "h2" (from
+// either side) means HTTP/2 framing on the wire.
+func harHTTPVersion(f *Flow) string {
+	if f.Transport == TransportH2 || f.ALPN == "h2" {
+		return "HTTP/2"
+	}
+	return "HTTP/1.1"
+}
+
 // ToHAREntry converts a flow.
 func (f *Flow) ToHAREntry() HAREntry {
 	req := HARRequest{
 		Method:      f.Method,
 		URL:         f.URL(),
-		HTTPVersion: "HTTP/1.1",
+		HTTPVersion: harHTTPVersion(f),
 		HeadersSize: -1,
 		BodySize:    len(f.Body),
 	}
@@ -101,6 +112,12 @@ func (f *Flow) ToHAREntry() HAREntry {
 	}
 
 	comment := fmt.Sprintf("origin=%s browser=%s", f.Origin, f.Browser)
+	if f.Transport != "" {
+		comment += " transport=" + f.Transport
+	}
+	if f.ALPN != "" {
+		comment += " alpn=" + f.ALPN
+	}
 	if f.VisitURL != "" {
 		comment += " visit=" + f.VisitURL
 	}
@@ -112,7 +129,7 @@ func (f *Flow) ToHAREntry() HAREntry {
 		Time:            1, // per-exchange latency is not modelled
 		Request:         req,
 		Response: HARResponse{
-			Status: f.Status, StatusText: statusText(f.Status), HTTPVersion: "HTTP/1.1",
+			Status: f.Status, StatusText: statusText(f.Status), HTTPVersion: harHTTPVersion(f),
 			HeadersSize: -1, BodySize: f.RespBytes,
 		},
 		Comment: comment,

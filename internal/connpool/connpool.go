@@ -30,10 +30,15 @@ func init() {
 	obs.Default.Help("connpool_idle_conns", "Connections currently parked in each idle pool.")
 }
 
-// Entry is one pooled connection with its buffered read side.
+// Entry is one pooled connection with its buffered read side. Session,
+// when non-nil, carries transport state that must travel with the
+// connection (an HTTP/2 client whose stream counter belongs to exactly
+// this conn); pool keys include the negotiated ALPN so an h2 entry can
+// never be handed to an h1 exchange or vice versa.
 type Entry struct {
-	Conn net.Conn
-	R    *bufio.Reader
+	Conn    net.Conn
+	R       *bufio.Reader
+	Session any
 
 	since time.Time
 }
@@ -196,6 +201,13 @@ func (p *Pool) Get(key string) (Entry, bool) {
 // whether the pool kept it; on false the caller still owns (and should
 // close) the connection.
 func (p *Pool) Put(key string, conn net.Conn, r *bufio.Reader) bool {
+	return p.PutEntry(key, Entry{Conn: conn, R: r})
+}
+
+// PutEntry offers a full entry back, preserving any attached transport
+// session. Semantics match Put.
+func (p *Pool) PutEntry(key string, e Entry) bool {
+	e.since = p.now()
 	p.mu.Lock()
 	if p.closed || p.total >= p.maxIdle || len(p.idle[key]) >= p.maxPerKey {
 		p.mu.Unlock()
@@ -203,7 +215,7 @@ func (p *Pool) Put(key string, conn net.Conn, r *bufio.Reader) bool {
 		p.obsEvCap.Inc()
 		return false
 	}
-	p.idle[key] = append(p.idle[key], Entry{Conn: conn, R: r, since: p.now()})
+	p.idle[key] = append(p.idle[key], e)
 	p.total++
 	p.mu.Unlock()
 	p.obsIdle.Inc()

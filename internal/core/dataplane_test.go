@@ -18,11 +18,15 @@ import (
 // disables both TLS session resumption and upstream connection reuse,
 // so every exchange pays a fresh dial and a full handshake — the
 // reference data plane the warm (resumed + pooled) variants must be
-// byte-identical to.
+// byte-identical to. Dolphin joins the fault fleet so the WebSocket
+// telemetry path is under the contract, and the transport list is the
+// explicit -transports=h1,h2,ws,doh form (with the UDP/443 block
+// active, its default), pinning the acceptance ablation: dissecting
+// every transport must not cost a byte of determinism.
 func dataPlaneWorld(t *testing.T, cold bool) *World {
 	t.Helper()
 	var profs []*profiles.Profile
-	for _, n := range faultBrowsers {
+	for _, n := range append(faultBrowsers, "Dolphin") {
 		p := profiles.ByName(n)
 		if p == nil {
 			t.Fatalf("no profile %q", n)
@@ -34,6 +38,7 @@ func dataPlaneWorld(t *testing.T, cold bool) *World {
 		Profiles:         profs,
 		DisableKeepAlive: cold,
 		DisableTLSResume: cold,
+		Transports:       []string{"h1", "h2", "ws", "doh"},
 	})
 	if err != nil {
 		t.Fatal(err)

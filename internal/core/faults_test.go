@@ -420,7 +420,10 @@ func TestHostBreakerOpens(t *testing.T) {
 // browser, every failed visit must carry a classified error, and the
 // exit-report numbers must be available.
 func TestChaosCampaign(t *testing.T) {
-	w := smallWorld(t, 4, "Chrome", "Mint")
+	// Dolphin joins the chaos fleet so WebSocket telemetry frames (and
+	// Chrome's h2 + DoH flows) ride through the fault injector too: the
+	// smoke covers every data-plane transport, not just pooled h1.
+	w := smallWorld(t, 4, "Chrome", "Mint", "Dolphin")
 	inj := faultsim.New(faultsim.Plan{
 		Seed:  99,
 		Rates: faultsim.UniformRates(0.10),
@@ -445,7 +448,7 @@ func TestChaosCampaign(t *testing.T) {
 			t.Errorf("classified error on a committed visit: %+v", v)
 		}
 	}
-	for _, name := range []string{"Chrome", "Mint"} {
+	for _, name := range []string{"Chrome", "Mint", "Dolphin"} {
 		if perBrowser[name] != len(w.Sites) {
 			t.Errorf("browser %s has %d visit records, want %d (no browser may abort)",
 				name, perBrowser[name], len(w.Sites))

@@ -73,6 +73,15 @@ type WorldConfig struct {
 	// per-sink breakers). Its Now is overridden with the world's virtual
 	// clock.
 	SinkConfig sink.Config
+	// Transports lists the data-plane protocols the capture plane
+	// dissects (capture.TransportH1/H2/WS/DoH). Nil enables all; h1 is
+	// always on. Browsers skip native h2 and WebSocket behaviours for
+	// disabled transports, mirroring the proxy.
+	Transports []string
+	// DisableH3Block leaves UDP/443 open (the -block-h3=false ablation):
+	// QUIC-attempting browsers reach h3-advertising origins over UDP and
+	// that traffic bypasses interception entirely.
+	DisableH3Block bool
 }
 
 // World is the fully-assembled testbed.
@@ -156,6 +165,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: device: %w", err)
 	}
+	dev.DisableH3Block = cfg.DisableH3Block
 
 	publicCA, err := pki.NewCA("Panoptes Public Web Root", clock.Now)
 	if err != nil {
@@ -230,6 +240,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		DisableTLSResume: cfg.DisableTLSResume,
 		UpstreamRTT:      cfg.UpstreamRTT,
 		Trace:            w.Trace,
+		Transports:       cfg.Transports,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: proxy: %w", err)
@@ -268,6 +279,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			ControlIP:        net.IPv4(10, 222, 0, byte(i+1)),
 			ControlPort:      9222,
 			DisableTLSResume: cfg.DisableTLSResume,
+			Transports:       cfg.Transports,
 		})
 		w.Browsers[p.Name] = b
 		w.Visits.SetBrowser(b.UID(), p.Name)

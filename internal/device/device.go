@@ -58,6 +58,13 @@ type Device struct {
 	Hooks      *ebpfsim.Registry
 	Accounting *ebpfsim.TrafficAccounting
 
+	// DisableH3Block leaves UDP/443 open: DivertBrowser skips the
+	// block-http3 DROP rule (the -block-h3=false ablation), so browser
+	// QUIC probes reach advertised HTTP/3 origins and those exchanges
+	// bypass the TCP-only interception path entirely — the arms race the
+	// paper's methodology forecloses by blocking UDP/443.
+	DisableH3Block bool
+
 	mu       sync.Mutex
 	packages map[string]*Package
 	nextUID  int
@@ -368,6 +375,9 @@ func (d *Device) DivertBrowser(uid int, proxyAddr string) error {
 		uid, proxyAddr, uid)
 	if err := d.Firewall.Exec(cmd); err != nil {
 		return err
+	}
+	if d.DisableH3Block {
+		return nil
 	}
 	return d.EnsureH3Block()
 }

@@ -99,6 +99,7 @@ type Resource struct {
 	Name2 string   // TypeCNAME, TypeNS: target name
 	TXT   []string // TypeTXT
 	SOA   *SOAData // TypeSOA
+	Raw   []byte   // unknown types: undecoded RDATA, preserved for re-encoding
 }
 
 // SOAData is the RDATA of an SOA record.
@@ -130,6 +131,7 @@ var (
 	ErrTrailingData   = errors.New("dnsmsg: trailing bytes after message")
 	ErrPointerLoop    = errors.New("dnsmsg: compression pointer loop")
 	ErrBadRDataLength = errors.New("dnsmsg: rdata length mismatch")
+	ErrDotInLabel     = errors.New("dnsmsg: label contains a dot")
 )
 
 // nameOffsets tracks where each (sub)name was first written, enabling
@@ -235,6 +237,12 @@ func readName(msg []byte, off int) (string, int, error) {
 		default:
 			if off+1+c > len(msg) {
 				return "", 0, ErrShortMessage
+			}
+			// A dot inside a label has no unambiguous textual form: the
+			// decoded name would re-encode with different label breaks.
+			// Rejecting keeps decode∘encode a fixed point (fuzz-pinned).
+			if strings.IndexByte(string(msg[off+1:off+1+c]), '.') >= 0 {
+				return "", 0, ErrDotInLabel
 			}
 			if sb.Len() > 0 {
 				sb.WriteByte('.')
@@ -347,7 +355,9 @@ func appendResource(b []byte, r Resource, offs nameOffsets) ([]byte, error) {
 		rdata = binary.BigEndian.AppendUint32(rdata, r.SOA.Expire)
 		rdata = binary.BigEndian.AppendUint32(rdata, r.SOA.Minimum)
 	default:
-		return nil, fmt.Errorf("dnsmsg: cannot pack RR type %v", r.Type)
+		// Unknown type: emit the preserved RDATA verbatim (nil for a
+		// hand-built record, which packs as an empty-RDATA envelope).
+		rdata = r.Raw
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(len(rdata)))
 	return append(b, rdata...), nil
@@ -487,7 +497,11 @@ func readResource(msg []byte, off int) (Resource, int, error) {
 		soa.Minimum = binary.BigEndian.Uint32(msg[p+16:])
 		r.SOA = soa
 	default:
-		// Unknown type: skip the RDATA, keep the envelope.
+		// Unknown type: keep the envelope and the raw RDATA so the
+		// record survives a re-encode (fuzz-pinned round trip).
+		if rdlen > 0 {
+			r.Raw = append([]byte(nil), msg[off:end]...)
+		}
 	}
 	return r, end, nil
 }

@@ -1,0 +1,84 @@
+package dnsmsg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzUnpackPackRoundTrip pins the codec's round-trip law on arbitrary
+// wire bytes: whenever Unpack accepts a message, re-encoding it and
+// decoding again must reproduce the same Message. Pack may legally emit
+// different bytes than the input (it compresses names the sender did
+// not), so the fixed point is the decoded form, not the octets.
+func FuzzUnpackPackRoundTrip(f *testing.F) {
+	seed := func(m *Message) {
+		b, err := m.Pack()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(NewQuery(1, "example.com", TypeA))
+	seed(NewQuery(42, "cc-gr.t.whale.naver.com", TypeA))
+	q := NewQuery(7, "secret-site.example", TypeAAAA)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = append(resp.Answers, Resource{
+		Name: "secret-site.example", Type: TypeCNAME, Class: ClassIN,
+		TTL: 300, Name2: "edge.cdn.example",
+	})
+	seed(resp)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return // rejected input: only the accept set carries the law
+		}
+		b, err := m.Pack()
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v\n%+v", err, m)
+		}
+		m2, err := Unpack(b)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v\n%x", err, b)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip not a fixed point:\nfirst  %+v\nsecond %+v", m, m2)
+		}
+	})
+}
+
+// FuzzQueryNameRoundTrip pins the qname path the DoH leak analyses
+// depend on: any name Pack accepts must decode back to its canonical
+// form (trailing dot trimmed; the root is "."), since the PII and
+// history scanners match decoded qnames verbatim.
+func FuzzQueryNameRoundTrip(f *testing.F) {
+	f.Add("example.com")
+	f.Add("cc-gr.t.whale.naver.com")
+	f.Add("a.b.c.d.e")
+	f.Add(".")
+	f.Add("xn--bcher-kva.example")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		b, err := NewQuery(9, name, TypeA).Pack()
+		if err != nil {
+			return // invalid name: encoder refused it, nothing to pin
+		}
+		m, err := Unpack(b)
+		if err != nil {
+			t.Fatalf("packed query failed to decode: %v (name %q)", err, name)
+		}
+		if len(m.Questions) != 1 {
+			t.Fatalf("questions = %d, want 1", len(m.Questions))
+		}
+		want := strings.TrimSuffix(name, ".")
+		if want == "" {
+			want = "."
+		}
+		if got := m.Questions[0].Name; got != want {
+			t.Fatalf("qname round trip: packed %q, decoded %q, want %q", name, got, want)
+		}
+	})
+}

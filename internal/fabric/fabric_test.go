@@ -31,7 +31,13 @@ func newPlane(t *testing.T, sites int) *core.World {
 		}
 		profs = append(profs, p)
 	}
-	w, err := core.NewWorld(core.WorldConfig{Sites: sites, Profiles: profs})
+	// The explicit all-transports list (the -transports=h1,h2,ws,doh
+	// form, UDP/443 block at its active default) keeps the fabric
+	// determinism contract pinned over the full transport-aware plane.
+	w, err := core.NewWorld(core.WorldConfig{
+		Sites: sites, Profiles: profs,
+		Transports: []string{"h1", "h2", "ws", "doh"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

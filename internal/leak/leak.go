@@ -24,6 +24,7 @@ import (
 
 	"panoptes/internal/bytepool"
 	"panoptes/internal/capture"
+	"panoptes/internal/dnsmsg"
 	"panoptes/internal/match"
 )
 
@@ -141,6 +142,32 @@ func writeHaystack(buf *bytes.Buffer, f *capture.Flow) {
 		buf.WriteByte('\n')
 	}
 	buf.Write(f.Body)
+	// DoH bodies carry the queried names as length-prefixed DNS labels —
+	// invisible to substring search until decoded. Appending the dotted
+	// qnames makes a visited hostname inside a DoH query body a
+	// domain-only leak like any other.
+	if IsDoHFlow(f) {
+		if m, err := dnsmsg.Unpack(f.Body); err == nil {
+			for _, q := range m.Questions {
+				buf.WriteByte('\n')
+				buf.WriteString(q.Name)
+			}
+		}
+	}
+}
+
+// IsDoHFlow reports whether the flow is an RFC 8484 DoH exchange, by the
+// proxy's transport tag or by media type (checkpoints written before the
+// transport field existed carry only the header).
+func IsDoHFlow(f *capture.Flow) bool {
+	return f.Transport == capture.TransportDoH ||
+		f.HeaderGet("Content-Type") == "application/dns-message"
+}
+
+// dohResolvers are the public resolvers of the paper's §3.2 DoH split.
+var dohResolvers = map[string]bool{
+	"cloudflare-dns.com": true,
+	"dns.google":         true,
 }
 
 // encodingOrder is the deterministic search order: plain first,

@@ -76,8 +76,16 @@ func (s *StreamScanner) scanOne(f *capture.Flow) (Finding, bool) {
 	if f.Host == v.host {
 		return Finding{}, false // talking to the visited site is not exfiltration
 	}
+	// A DoH query to a public resolver necessarily carries the visited
+	// hostname — that is name resolution doing its job, reported by the
+	// DNS-usage analysis (the paper's 8/7 DoH split), not a history leak.
+	// DoH bodies sent anywhere else still count.
+	if IsDoHFlow(f) && dohResolvers[f.Host] {
+		return Finding{}, false
+	}
 
-	buf := haystackPool.Get(len(f.Path) + 2*len(f.RawQuery) + len(f.Body) + 4)
+	// DoH flows get the decoded qnames appended, bounded by the body size.
+	buf := haystackPool.Get(len(f.Path) + 2*len(f.RawQuery) + 2*len(f.Body) + 5)
 	defer haystackPool.Put(buf)
 	writeHaystack(buf, f)
 	ms := s.det.pats.Scan(buf.Bytes())

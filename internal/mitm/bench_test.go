@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"testing"
 	"time"
+
+	"panoptes/internal/capture"
 )
 
 // BenchmarkMitmBodyAlloc measures the steady-state allocation cost of
@@ -31,7 +33,7 @@ func BenchmarkMitmBodyAlloc(b *testing.B) {
 					Method: "POST", URL: u, Header: http.Header{},
 					Body: io.NopCloser(bytes.NewReader(payload)), ContentLength: int64(size),
 				}
-				f, buf := p.buildFlow(req, "https", "dest.test", 7)
+				f, buf := p.buildFlow(req, "https", "dest.test", 7, capture.TransportH1, "")
 				if f.ReqBytes < size {
 					b.Fatalf("short read: %d", f.ReqBytes)
 				}

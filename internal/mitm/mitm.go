@@ -41,9 +41,11 @@ import (
 	"panoptes/internal/capture"
 	"panoptes/internal/connpool"
 	"panoptes/internal/faultsim"
+	"panoptes/internal/h2"
 	"panoptes/internal/netsim"
 	"panoptes/internal/obs"
 	"panoptes/internal/pki"
+	"panoptes/internal/ws"
 )
 
 // bodyPool recycles the scratch buffers that read request and response
@@ -73,7 +75,27 @@ var (
 	mBytesDown       = obs.Default.Counter("mitm_bytes_total", "dir", "down")
 	mActiveConns     = obs.Default.Gauge("mitm_active_conns")
 	mReqLatency      = obs.Default.Histogram("mitm_request_duration_seconds", nil)
+
+	mFlowsH1  = obs.Default.Counter("mitm_transport_flows_total", "transport", capture.TransportH1)
+	mFlowsH2  = obs.Default.Counter("mitm_transport_flows_total", "transport", capture.TransportH2)
+	mFlowsWS  = obs.Default.Counter("mitm_transport_flows_total", "transport", capture.TransportWS)
+	mFlowsDoH = obs.Default.Counter("mitm_transport_flows_total", "transport", capture.TransportDoH)
 )
+
+// countTransportFlow bumps the per-transport flow family for one
+// captured flow record.
+func countTransportFlow(t string) {
+	switch t {
+	case capture.TransportH2:
+		mFlowsH2.Inc()
+	case capture.TransportWS:
+		mFlowsWS.Inc()
+	case capture.TransportDoH:
+		mFlowsDoH.Inc()
+	default:
+		mFlowsH1.Inc()
+	}
+}
 
 func init() {
 	obs.Default.Help("mitm_handshakes_total", "Client-side TLS handshakes by result.")
@@ -85,6 +107,7 @@ func init() {
 	obs.Default.Help("mitm_bytes_total", "Request (up) and response (down) wire bytes through the proxy.")
 	obs.Default.Help("mitm_active_conns", "Client connections currently being served.")
 	obs.Default.Help("mitm_request_duration_seconds", "Wall-clock latency of one proxied exchange.")
+	obs.Default.Help("mitm_transport_flows_total", "Captured flow records by data-plane transport (h1, h2, ws frame, doh message).")
 }
 
 // Addon observes and may mutate intercepted exchanges, in the manner of a
@@ -154,10 +177,23 @@ type Proxy struct {
 	// keep-alive is disabled).
 	pool *connpool.Pool
 
+	// transports gates the data-plane protocols the proxy speaks; nil
+	// means all. h1 is always on — it is the substrate every other
+	// transport falls back to.
+	transports map[string]bool
+
 	upstreamRTT  time.Duration
 	acceptShards int
 	closed       atomic.Bool
 	faults       atomic.Pointer[faultsim.Injector]
+}
+
+// transportEnabled reports whether the proxy speaks transport t.
+func (p *Proxy) transportEnabled(t string) bool {
+	if p.transports == nil {
+		return true
+	}
+	return p.transports[t]
 }
 
 // SetFaults installs (or clears, with nil) the fault injector consulted
@@ -204,6 +240,13 @@ type Config struct {
 	// AcceptShards overrides the accept-goroutine count in Serve
 	// (default: GOMAXPROCS).
 	AcceptShards int
+	// Transports lists the enabled data-plane protocols
+	// (capture.TransportH1 ... TransportDoH). Empty enables all; h1 is
+	// always kept on. A disabled h2 drops the "h2" ALPN offer on both
+	// sides so clients silently fall back to HTTP/1.1; a disabled ws
+	// serves upgrade requests as plain (failing) HTTP; a disabled doh
+	// stops tagging DNS-over-HTTPS messages as their own transport.
+	Transports []string
 	// UpstreamRTT models wide-area latency to the destination on the
 	// wall clock, one sleep per network round trip: every forwarded
 	// exchange pays one (request out, response back), and a fresh
@@ -229,11 +272,23 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	p := &Proxy{CA: cfg.CA, UpstreamRoots: cfg.UpstreamRoots, Dial: cfg.Dial, Now: cfg.Now, Trace: cfg.Trace,
 		upstreamRTT: cfg.UpstreamRTT, acceptShards: cfg.AcceptShards}
+	if len(cfg.Transports) > 0 {
+		p.transports = make(map[string]bool, len(cfg.Transports)+1)
+		for _, t := range cfg.Transports {
+			p.transports[t] = true
+		}
+		p.transports[capture.TransportH1] = true
+	}
 	if !cfg.DisableCertCache {
 		p.certCache = make(map[string]*tls.Certificate)
 		p.certFlight = make(map[string]*certCall)
 	}
 	p.serverTLS = &tls.Config{}
+	if p.transportEnabled(capture.TransportH2) {
+		p.serverTLS.NextProtos = []string{h2.ProtoName, "http/1.1"}
+	} else {
+		p.serverTLS.NextProtos = []string{"http/1.1"}
+	}
 	if cfg.DisableTLSResume {
 		p.serverTLS.SessionTicketsDisabled = true
 	} else {
@@ -469,10 +524,19 @@ func (p *Proxy) handleConn(client net.Conn) {
 		}
 		hsSpan.SetAttr("result", "ok")
 		hsSpan.End()
-		p.serveHTTP(bufio.NewReader(tc), tc, "https", host, port, uid)
+		// ALPN dispatch: the negotiated protocol selects the framing the
+		// rest of the connection speaks. h2 goes to the frame-level
+		// server; everything else (explicit "http/1.1" or no ALPN) stays
+		// on the keep-alive HTTP/1.1 loop.
+		alpn := tc.ConnectionState().NegotiatedProtocol
+		if alpn == h2.ProtoName {
+			p.serveH2(tc, host, port, uid)
+			return
+		}
+		p.serveHTTP(bufio.NewReader(tc), tc, "https", host, port, uid, alpn)
 		return
 	}
-	p.serveHTTP(br, client, "http", host, port, uid)
+	p.serveHTTP(br, client, "http", host, port, uid, "")
 }
 
 // serveExplicitPlain handles absolute-form plain-HTTP requests from an
@@ -487,7 +551,7 @@ func (p *Proxy) serveExplicitPlain(br *bufio.Reader, client net.Conn, first *htt
 		}
 		req.Host = req.URL.Host
 		closeAfter := req.Close || strings.EqualFold(req.Header.Get("Connection"), "close")
-		if !p.serveOne(client, req, "http", host, port, uid) || closeAfter {
+		if !p.serveOne(p.h1ClientIO(client), req, "http", host, port, uid, capture.TransportH1, "") || closeAfter {
 			return
 		}
 		var err error
@@ -559,23 +623,237 @@ func (p *Proxy) leafFor(host string) (*tls.Certificate, error) {
 }
 
 // serveHTTP handles a keep-alive sequence of HTTP/1.1 requests on one
-// client connection.
-func (p *Proxy) serveHTTP(br *bufio.Reader, client net.Conn, scheme, host, port string, uid int) {
+// client connection. A WebSocket upgrade request hands the connection
+// over to the frame-relay path and ends the HTTP loop.
+func (p *Proxy) serveHTTP(br *bufio.Reader, client net.Conn, scheme, host, port string, uid int, alpn string) {
 	for {
 		req, err := http.ReadRequest(br)
 		if err != nil {
 			return // EOF or malformed: drop the connection
 		}
+		if p.transportEnabled(capture.TransportWS) && ws.IsUpgradeRequest(req) {
+			p.serveWS(client, br, req, scheme, host, port, uid, alpn)
+			return
+		}
 		closeAfter := req.Close || strings.EqualFold(req.Header.Get("Connection"), "close")
-		if !p.serveOne(client, req, scheme, host, port, uid) || closeAfter {
+		if !p.serveOne(p.h1ClientIO(client), req, scheme, host, port, uid, capture.TransportH1, alpn) || closeAfter {
 			return
 		}
 	}
 }
 
+// serveH2 handles one h2-negotiated client connection: sequential
+// streams, each one exchange through the same addon/forward path as h1.
+func (p *Proxy) serveH2(tc net.Conn, host, port string, uid int) {
+	srv, err := h2.NewServer(tc, nil)
+	if err != nil {
+		return
+	}
+	for {
+		hreq, err := srv.ReadRequest()
+		if err != nil {
+			return
+		}
+		req := hreq.HTTPRequest()
+		req.RemoteAddr = tc.RemoteAddr().String()
+		if !p.serveOne(h2ClientIO(srv, hreq.Stream), req, "https", host, port, uid, capture.TransportH2, h2.ProtoName) {
+			return
+		}
+	}
+}
+
+// clientIO abstracts the client-facing write half of one exchange so
+// serveOne stays framing-agnostic: h1 writes wire text, h2 writes
+// frames on the exchange's stream.
+type clientIO struct {
+	// respondError writes a short plain-text response (veto, injected
+	// fault, upstream error).
+	respondError func(status int, body string) error
+	// respond writes the full proxied response, returning wire bytes.
+	respond func(resp *http.Response, body []byte) (int, error)
+	// reset aborts the exchange abruptly for the stream_reset fault: h1
+	// promises body bytes and drops the connection, h2 sends RST_STREAM.
+	reset func()
+}
+
+func (p *Proxy) h1ClientIO(client net.Conn) clientIO {
+	return clientIO{
+		respondError: func(status int, body string) error {
+			_, err := fmt.Fprintf(client,
+				"HTTP/1.1 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
+				status, http.StatusText(status), len(body), body)
+			return err
+		},
+		respond: func(resp *http.Response, body []byte) (int, error) {
+			return p.writeResponse(client, resp, body)
+		},
+		reset: func() {
+			// Promise 1000 body bytes, deliver a few, drop the connection:
+			// the client's body read dies with an unexpected EOF.
+			fmt.Fprint(client, "HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\npartial")
+		},
+	}
+}
+
+func h2ClientIO(srv *h2.Server, stream uint32) clientIO {
+	return clientIO{
+		respondError: func(status int, body string) error {
+			hdr := http.Header{"Content-Type": []string{"text/plain"}}
+			_, err := srv.WriteResponse(stream, status, hdr, []byte(body))
+			return err
+		},
+		respond: func(resp *http.Response, body []byte) (int, error) {
+			return srv.WriteResponse(stream, resp.StatusCode, resp.Header, body)
+		},
+		reset: func() { srv.WriteRST(stream) },
+	}
+}
+
+// serveWS terminates an intercepted WebSocket on both sides: it accepts
+// the client's upgrade, opens its own upstream WebSocket over a fresh
+// (never pooled) connection, and relays messages strictly sequentially
+// — one client frame forwarded, one upstream ack relayed back. The
+// upgrade handshake is captured as a Status-101 flow; every
+// client-originated frame becomes its own flow record (Method "WS",
+// body = frame payload) so frame-borne telemetry is visible to the same
+// analyses as any HTTP beacon.
+func (p *Proxy) serveWS(client net.Conn, br *bufio.Reader, req *http.Request, scheme, host, port string, uid int, alpn string) {
+	upFlow, reqBody := p.buildFlow(req, scheme, host, uid, capture.TransportWS, alpn)
+	defer upFlow.Release()
+	if reqBody != nil {
+		defer bodyPool.Put(reqBody)
+	}
+	addons := p.addonList()
+	for _, a := range addons {
+		a.Request(upFlow, req)
+	}
+
+	fail := func(err error) {
+		mUpstreamErr.Inc()
+		upFlow.Status = http.StatusBadGateway
+		upFlow.Err = err.Error()
+		for _, a := range addons {
+			a.Response(upFlow, nil)
+		}
+		body := "panoptes-mitm: upstream error: " + err.Error()
+		fmt.Fprintf(client, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
+			len(body), body)
+	}
+
+	authority := req.Host
+	if authority == "" {
+		authority = net.JoinHostPort(host, port)
+	}
+	dialAddr := authority
+	if !strings.Contains(dialAddr, ":") {
+		if scheme == "https" {
+			dialAddr += ":443"
+		} else {
+			dialAddr += ":80"
+		}
+	}
+	// WebSocket upstreams speak h1 framing under the upgrade — never
+	// offer h2 — and the long-lived connection is not pool material.
+	upConn, _, err := p.dialUpstream(scheme, dialAddr, []string{"http/1.1"})
+	if err != nil {
+		fail(fmt.Errorf("mitm: upstream %s: %w", authority, err))
+		return
+	}
+	wsScheme := "ws"
+	if scheme == "https" {
+		wsScheme = "wss"
+	}
+	up, err := ws.Dial(wsScheme+"://"+authority+req.URL.RequestURI(), func(string) (net.Conn, error) {
+		return upConn, nil
+	})
+	if err != nil {
+		upConn.Close()
+		fail(fmt.Errorf("mitm: upstream %s: %w", authority, err))
+		return
+	}
+	defer up.Close()
+
+	cc, err := ws.Accept(client, br, req)
+	if err != nil {
+		upFlow.Err = err.Error()
+		for _, a := range addons {
+			a.Response(upFlow, nil)
+		}
+		return
+	}
+	defer cc.Close()
+	upFlow.Status = http.StatusSwitchingProtocols
+	for _, a := range addons {
+		a.Response(upFlow, nil)
+	}
+
+	for {
+		op, msg, err := cc.ReadMessage()
+		if err != nil {
+			return // client closed the channel; the deferred closes tear down upstream
+		}
+		ff := p.buildWSFrameFlow(req, scheme, host, uid, msg, alpn)
+		for _, a := range addons {
+			a.Request(ff, req)
+		}
+		if err := up.WriteMessage(op, msg); err != nil {
+			ff.Err = err.Error()
+			for _, a := range addons {
+				a.Response(ff, nil)
+			}
+			ff.Release()
+			return
+		}
+		ackOp, ack, err := up.ReadMessage()
+		if err != nil {
+			ff.Err = err.Error()
+		} else {
+			ff.Status = http.StatusOK
+			ff.RespBytes = len(ack)
+			if werr := cc.WriteMessage(ackOp, ack); werr != nil {
+				ff.Err = werr.Error()
+			}
+		}
+		for _, a := range addons {
+			a.Response(ff, nil)
+		}
+		ff.Release()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// buildWSFrameFlow populates a pooled Flow for one client-originated
+// WebSocket frame. The frame rides the upgrade request's URL (that is
+// the endpoint the payload travels to); Method "WS" distinguishes frame
+// records from the upgrade GET.
+func (p *Proxy) buildWSFrameFlow(req *http.Request, scheme, host string, uid int, payload []byte, alpn string) *capture.Flow {
+	f := capture.AcquireFlow()
+	f.ID = capture.NextFlowID()
+	f.Time = p.Now()
+	f.BrowserUID = uid
+	f.Method = "WS"
+	f.Scheme = scheme
+	f.Transport = capture.TransportWS
+	f.ALPN = alpn
+	f.Host = hostOnly(req, host)
+	f.Path = req.URL.Path
+	f.RawQuery = req.URL.RawQuery
+	f.Headers = cloneHeaderInto(f.Headers, nil)
+	capped := len(payload)
+	if capped > capture.MaxBodyCapture {
+		capped = capture.MaxBodyCapture
+	}
+	f.Body = append(f.Body[:0], payload[:capped]...)
+	f.ReqBytes = len(payload) + 6 // payload + frame header incl. mask key
+	countTransportFlow(capture.TransportWS)
+	return f
+}
+
 // serveOne processes a single exchange; it reports whether the client
 // connection can be reused.
-func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port string, uid int) bool {
+func (p *Proxy) serveOne(cio clientIO, req *http.Request, scheme, host, port string, uid int, transport, alpn string) bool {
 	wallStart := time.Now()
 	defer func() { mReqLatency.Observe(time.Since(wallStart).Seconds()) }()
 	if scheme == "https" {
@@ -588,7 +866,8 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 	sp.SetAttr("host", host)
 	sp.SetAttr("method", req.Method)
 
-	flow, reqBody := p.buildFlow(req, scheme, host, uid)
+	flow, reqBody := p.buildFlow(req, scheme, host, uid, transport, alpn)
+	sp.SetAttr("transport", flow.Transport)
 	// The producer reference: released when the exchange ends, after the
 	// last Status/RespBytes mutation. Every retainer that outlives the
 	// exchange (store shards, pending quarantine, export batches) holds
@@ -622,10 +901,7 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 			for _, a2 := range addons {
 				a2.Response(flow, nil)
 			}
-			body := "panoptes-mitm: blocked: " + err.Error()
-			_, werr := fmt.Fprintf(client,
-				"HTTP/1.1 403 Forbidden\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
-				len(body), body)
+			werr := cio.respondError(http.StatusForbidden, "panoptes-mitm: blocked: "+err.Error())
 			return werr == nil
 		}
 	}
@@ -646,21 +922,16 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 			for _, a := range addons {
 				a.Response(flow, nil)
 			}
-			body := "panoptes-faultsim: injected 500"
-			fmt.Fprintf(client,
-				"HTTP/1.1 500 Internal Server Error\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
-				len(body), body)
+			cio.respondError(http.StatusInternalServerError, "panoptes-faultsim: injected 500")
 			return false
 		case faultsim.StreamReset:
-			// Promise 1000 body bytes, deliver a few, drop the connection:
-			// the client's body read dies with an unexpected EOF.
 			sp.SetAttr("result", "fault:stream_reset")
 			flow.Status = http.StatusOK
 			flow.Err = "faultsim: injected stream_reset"
 			for _, a := range addons {
 				a.Response(flow, nil)
 			}
-			fmt.Fprint(client, "HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\npartial")
+			cio.reset()
 			return false
 		default: // faultsim.ReadTimeout
 			// The origin never answers: no response bytes, connection
@@ -685,9 +956,7 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 		for _, a := range addons {
 			a.Response(flow, nil)
 		}
-		body := "panoptes-mitm: upstream error: " + err.Error()
-		fmt.Fprintf(client, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
-			len(body), body)
+		cio.respondError(http.StatusBadGateway, "panoptes-mitm: upstream error: "+err.Error())
 		return false
 	}
 
@@ -696,7 +965,7 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 		a.Response(flow, resp)
 	}
 
-	n, werr := p.writeResponse(client, resp, respBody.Bytes())
+	n, werr := cio.respond(resp, respBody.Bytes())
 	bodyPool.Put(respBody)
 	flow.RespBytes = n
 	mBytesDown.Add(int64(n))
@@ -704,18 +973,38 @@ func (p *Proxy) serveOne(client net.Conn, req *http.Request, scheme, host, port 
 	return werr == nil
 }
 
+// dohContentType is the RFC 8484 media type; a request carrying or
+// accepting it is a DNS-over-HTTPS message regardless of the connection
+// framing underneath.
+const dohContentType = "application/dns-message"
+
+// isDoHRequest reports whether req is a DNS-over-HTTPS exchange (POST
+// body or GET accepting a DNS message).
+func isDoHRequest(req *http.Request) bool {
+	return req.Header.Get("Content-Type") == dohContentType ||
+		req.Header.Get("Accept") == dohContentType
+}
+
 // buildFlow populates a pooled Flow from the parsed request, consuming
 // the body into a pooled scratch buffer and re-buffering it for replay.
 // The caller owns the flow's producer reference and must return the
 // scratch buffer (nil when the request has no body) to bodyPool after
-// the exchange — the replay reader aliases it.
-func (p *Proxy) buildFlow(req *http.Request, scheme, host string, uid int) (*capture.Flow, *bytes.Buffer) {
+// the exchange — the replay reader aliases it. transport is the framing
+// of the client connection; a DoH message is re-tagged as its own
+// transport (the framing stays visible in ALPN).
+func (p *Proxy) buildFlow(req *http.Request, scheme, host string, uid int, transport, alpn string) (*capture.Flow, *bytes.Buffer) {
 	f := capture.AcquireFlow()
 	f.ID = capture.NextFlowID()
 	f.Time = p.Now()
 	f.BrowserUID = uid
 	f.Method = req.Method
 	f.Scheme = scheme
+	f.Transport = transport
+	f.ALPN = alpn
+	if p.transportEnabled(capture.TransportDoH) && isDoHRequest(req) {
+		f.Transport = capture.TransportDoH
+	}
+	countTransportFlow(f.Transport)
 	f.Host = hostOnly(req, host)
 	f.Path = req.URL.Path
 	f.RawQuery = req.URL.RawQuery
@@ -811,6 +1100,13 @@ func hostOnly(req *http.Request, fallback string) string {
 // connection and returns the parsed response with its body fully read
 // into a pooled buffer (resp.Body replays it). The caller returns the
 // buffer to bodyPool once the response is written out.
+//
+// Pool keys embed the negotiated ALPN (scheme|alpn|addr) so h2 and h1
+// connections never cross: an idle h2 entry carries its *h2.Client
+// session, an h1 entry its buffered reader. A lookup probes the h2 key
+// first (when h2 is enabled) and falls back to h1; a fresh dial offers
+// both protocols and files the connection under whichever the origin
+// picked.
 func (p *Proxy) forward(req *http.Request, scheme, host, port string) (*http.Response, *bytes.Buffer, error) {
 	authority := req.Host
 	if authority == "" {
@@ -827,36 +1123,86 @@ func (p *Proxy) forward(req *http.Request, scheme, host, port string) (*http.Res
 		}
 	}
 
-	// Serialise the whole request once; a retry rewrites the same bytes.
-	wb := bodyPool.Get(512)
-	defer bodyPool.Put(wb)
-	writeRequest(wb, req, authority)
+	// Buffer the request body once; every attempt (h1 serialisation or
+	// h2 RoundTrip) replays the same bytes.
+	var reqBody []byte
+	if req.Body != nil && req.ContentLength > 0 {
+		reqBody, _ = io.ReadAll(req.Body)
+		req.Body.Close()
+		req.Body = nil
+	}
 
 	if p.upstreamRTT > 0 {
 		time.Sleep(p.upstreamRTT)
 	}
 
-	key := scheme + "|" + dialAddr
+	offerH2 := scheme == "https" && p.transportEnabled(capture.TransportH2)
+	keyH1 := scheme + "|" + capture.TransportH1 + "|" + dialAddr
+	keyH2 := scheme + "|" + capture.TransportH2 + "|" + dialAddr
+
+	var wb *bytes.Buffer // lazily serialised h1 request image
+	defer func() {
+		if wb != nil {
+			bodyPool.Put(wb)
+		}
+	}()
+
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		var pc connpool.Entry
+		key := keyH1
+		proto := capture.TransportH1
 		reused := false
 		if p.pool != nil && attempt == 0 {
-			pc, reused = p.pool.Get(key)
+			if offerH2 {
+				if pc, reused = p.pool.Get(keyH2); reused {
+					proto, key = capture.TransportH2, keyH2
+				}
+			}
+			if !reused {
+				pc, reused = p.pool.Get(keyH1)
+			}
 		}
 		if reused {
 			p.connReused.Add(1)
 			mConnReused.Inc()
 		} else {
-			conn, err := p.dialUpstream(scheme, dialAddr)
+			var protos []string
+			if offerH2 {
+				protos = []string{h2.ProtoName, "http/1.1"}
+			}
+			conn, negotiated, err := p.dialUpstream(scheme, dialAddr, protos)
 			if err != nil {
 				return nil, nil, fmt.Errorf("mitm: upstream %s: %w", authority, err)
 			}
 			p.connDialed.Add(1)
 			mConnDialed.Inc()
-			pc = connpool.Entry{Conn: conn, R: bufio.NewReader(conn)}
+			if negotiated == h2.ProtoName {
+				hc, err := h2.NewClient(conn)
+				if err != nil {
+					conn.Close()
+					return nil, nil, fmt.Errorf("mitm: upstream %s: %w", authority, err)
+				}
+				pc = connpool.Entry{Conn: conn, Session: hc}
+				proto, key = capture.TransportH2, keyH2
+			} else {
+				pc = connpool.Entry{Conn: conn, R: bufio.NewReader(conn)}
+			}
 		}
-		resp, bb, err := p.exchange(pc, key, wb.Bytes(), req)
+		var (
+			resp *http.Response
+			bb   *bytes.Buffer
+			err  error
+		)
+		if proto == capture.TransportH2 {
+			resp, bb, err = p.exchangeH2(pc, key, req, reqBody)
+		} else {
+			if wb == nil {
+				wb = bodyPool.Get(512)
+				writeRequest(wb, req, authority, reqBody)
+			}
+			resp, bb, err = p.exchange(pc, key, wb.Bytes(), req)
+		}
 		if err != nil {
 			if reused {
 				// A pooled connection can die between exchanges (origin
@@ -902,30 +1248,66 @@ func (p *Proxy) exchange(pc connpool.Entry, key string, raw []byte, req *http.Re
 	return resp, bb, nil
 }
 
+// exchangeH2 performs one round trip on a pooled h2 upstream session.
+// h2 connections are always reusable after a clean exchange — the
+// session (with its stream counter) travels back into the pool with the
+// connection.
+func (p *Proxy) exchangeH2(pc connpool.Entry, key string, req *http.Request, body []byte) (*http.Response, *bytes.Buffer, error) {
+	hc, _ := pc.Session.(*h2.Client)
+	if hc == nil {
+		pc.Conn.Close()
+		return nil, nil, errors.New("mitm: pooled h2 entry without session")
+	}
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	resp, err := hc.RoundTrip(req)
+	if err != nil {
+		pc.Conn.Close()
+		return nil, nil, err
+	}
+	bb := bodyPool.Get(int(resp.ContentLength))
+	if _, err := io.Copy(bb, io.LimitReader(resp.Body, 64<<20)); err != nil {
+		bodyPool.Put(bb)
+		pc.Conn.Close()
+		return nil, nil, fmt.Errorf("read body: %w", err)
+	}
+	resp.Body.Close()
+	if p.pool == nil || !p.pool.PutEntry(key, pc) {
+		pc.Conn.Close()
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(bb.Bytes()))
+	return resp, bb, nil
+}
+
 // dialUpstream opens (and, for https, handshakes) a fresh upstream
-// connection. The upstream TLS template carries a shared session cache,
-// so repeat dials to a host resume instead of re-handshaking.
-func (p *Proxy) dialUpstream(scheme, addr string) (net.Conn, error) {
+// connection, offering protos via ALPN and reporting what the origin
+// negotiated ("" for cleartext or no ALPN). The upstream TLS template
+// carries a shared session cache, so repeat dials to a host resume
+// instead of re-handshaking.
+func (p *Proxy) dialUpstream(scheme, addr string, protos []string) (net.Conn, string, error) {
 	if p.upstreamRTT > 0 {
 		time.Sleep(p.upstreamRTT) // TCP connect flight
 	}
 	raw, err := p.Dial(context.Background(), addr)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if scheme != "https" {
-		return raw, nil
+		return raw, "", nil
 	}
 	host, _, _ := net.SplitHostPort(addr)
 	tcfg := p.upstreamTLS.Clone()
 	tcfg.ServerName = host
+	tcfg.NextProtos = protos
 	tc := tls.Client(raw, tcfg)
 	if p.upstreamRTT > 0 {
 		time.Sleep(p.upstreamRTT) // TLS handshake flight (1-RTT, full or resumed)
 	}
 	if err := tc.Handshake(); err != nil {
 		raw.Close()
-		return nil, fmt.Errorf("handshake with %s: %w", addr, err)
+		return nil, "", fmt.Errorf("handshake with %s: %w", addr, err)
 	}
 	if tc.ConnectionState().DidResume {
 		p.upResumed.Add(1)
@@ -933,15 +1315,15 @@ func (p *Proxy) dialUpstream(scheme, addr string) (net.Conn, error) {
 	} else {
 		p.upFull.Add(1)
 	}
-	return tc, nil
+	return tc, tc.ConnectionState().NegotiatedProtocol, nil
 }
 
 // writeRequest serialises req into buf as an origin-form HTTP/1.1
 // request. Hop-by-hop headers are dropped — the upstream connection's
 // keep-alive is the pool's business, not the client's — and Host and
-// Content-Length are owned by the proxy. The body (re-buffered by
-// buildFlow) is drained from the replay reader into buf.
-func writeRequest(buf *bytes.Buffer, req *http.Request, authority string) {
+// Content-Length are owned by the proxy. body is the request body
+// forward buffered once for all attempts (nil for bodyless requests).
+func writeRequest(buf *bytes.Buffer, req *http.Request, authority string, body []byte) {
 	buf.WriteString(req.Method)
 	buf.WriteByte(' ')
 	if req.URL.Opaque != "" {
@@ -971,13 +1353,12 @@ func writeRequest(buf *bytes.Buffer, req *http.Request, authority string) {
 			buf.WriteString("\r\n")
 		}
 	}
-	if req.Body != nil && req.ContentLength > 0 {
+	if len(body) > 0 {
 		var tmp [20]byte
 		buf.WriteString("Content-Length: ")
-		buf.Write(strconv.AppendInt(tmp[:0], req.ContentLength, 10))
+		buf.Write(strconv.AppendInt(tmp[:0], int64(len(body)), 10))
 		buf.WriteString("\r\n\r\n")
-		_, _ = io.Copy(buf, req.Body)
-		req.Body.Close()
+		buf.Write(body)
 	} else {
 		buf.WriteString("\r\n")
 	}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"panoptes/internal/capture"
+	"panoptes/internal/dnsmsg"
 	"panoptes/internal/match"
 )
 
@@ -253,6 +254,20 @@ func forEachPair(f *capture.Flow, emit func(key, val string)) {
 			for _, k := range keys {
 				for _, v := range vals[k] {
 					emit(k, v)
+				}
+			}
+		}
+	}
+	// DoH bodies: a query name's first label can smuggle an attribute as
+	// "key-value" ("cc-gr.t.kiwibrowser.com" ships the device country as
+	// a DNS label). Decode the packed message and walk each question.
+	if f.Transport == capture.TransportDoH ||
+		f.HeaderGet("Content-Type") == "application/dns-message" {
+		if m, err := dnsmsg.Unpack(f.Body); err == nil {
+			for _, q := range m.Questions {
+				label, _, _ := strings.Cut(q.Name, ".")
+				if key, val, ok := strings.Cut(label, "-"); ok {
+					emit(key, val)
 				}
 			}
 		}

@@ -122,6 +122,27 @@ type Profile struct {
 	// PinnedHosts certificate-pin their vendor endpoints; requests to
 	// them die on the MITM proxy (paper footnote 3).
 	PinnedHosts []string
+
+	// --- Transport behaviours ---
+
+	// AttemptsQUIC marks Chromium-family browsers that probe UDP/443
+	// (HTTP/3) against h3-advertising origins before every first contact;
+	// the testbed's block-http3 firewall rule drops the probe and forces
+	// the TCP fallback the interception plane relies on.
+	AttemptsQUIC bool
+	// H2Hosts lists vendor endpoints the native stack speaks HTTP/2 to
+	// (ALPN "h2"); native requests to other hosts stay on HTTP/1.1.
+	H2Hosts []string
+	// WSTelemetryHost ("" = none) receives a per-visit WebSocket
+	// telemetry frame whose JSON payload carries the visited URL — a
+	// history leak that exists only inside WebSocket frames, never in an
+	// HTTP request line or body.
+	WSTelemetryHost string
+	// DoHPIIQname ("" = none) is a DNS name the browser resolves through
+	// its DoH endpoint on every visit; the {CC} placeholder expands to
+	// the device country, so the PII rides only inside the DoH query
+	// body as an encoded qname label.
+	DoHPIIQname string
 }
 
 // UserAgent renders the profile's UA string on the testbed device.
@@ -158,7 +179,9 @@ func Chrome() *Profile {
 		ChromeUA: "113.0.5672.77", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHGoogle, HasIncognito: true,
 		VisitNoise: 1, NoiseHosts: []string{"safebrowsing.googleapis.com"}, NoiseBytes: 60,
-		IdleBurst: 14, IdleTauSec: 15, IdleRatePerMin: 0.8,
+		AttemptsQUIC: true,
+		H2Hosts:      []string{"update.googleapis.com"},
+		IdleBurst:    14, IdleTauSec: 15, IdleRatePerMin: 0.8,
 		IdleDests: []IdleDest{
 			{Host: "update.googleapis.com", Path: "/service/update2", Weight: 0.45},
 			{Host: "t0.gstatic.com", Path: "/faviconV2", Weight: 0.35},
@@ -195,8 +218,10 @@ func Edge() *Profile {
 		NoiseBytes: 70,
 		PII: PIILeaks{DeviceManuf: true, Timezone: true, Resolution: true,
 			Locale: true, ConnType: true, NetType: true},
-		PIICarrier: "browser.events.data.msn.com",
-		IdleBurst:  32, IdleTauSec: 18, IdleRatePerMin: 3.0,
+		PIICarrier:   "browser.events.data.msn.com",
+		AttemptsQUIC: true,
+		H2Hosts:      []string{"browser.events.data.msn.com"},
+		IdleBurst:    32, IdleTauSec: 18, IdleRatePerMin: 3.0,
 		IdleDests: []IdleDest{
 			{Host: "msn.com", Path: "/feed", Weight: 0.25},
 			{Host: "browser.events.data.msn.com", Path: "/OneCollector/1.0", Weight: 0.2},
@@ -311,7 +336,9 @@ func Brave() *Profile {
 		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		VisitNoise: 1, NoiseHosts: []string{"variations.brave.com"}, NoiseBytes: 30,
-		IdleBurst: 8, IdleTauSec: 12, IdleRatePerMin: 0.5,
+		AttemptsQUIC: true,
+		H2Hosts:      []string{"variations.brave.com"},
+		IdleBurst:    8, IdleTauSec: 12, IdleRatePerMin: 0.5,
 		IdleDests: []IdleDest{
 			{Host: "variations.brave.com", Path: "/seed", Weight: 0.5},
 			{Host: "go-updater.brave.com", Path: "/extensions", Weight: 0.5},
@@ -395,7 +422,11 @@ func Dolphin() *Profile {
 			"cdn.dolphin-browser.com",
 		},
 		NoiseBytes: 80,
-		IdleBurst:  12, IdleTauSec: 14, IdleRatePerMin: 2.4,
+		// The push channel is a WebSocket: every visit ships a telemetry
+		// frame carrying the visited URL — invisible to analyses that only
+		// look at HTTP request lines and bodies.
+		WSTelemetryHost: "push.dolphin-browser.com",
+		IdleBurst:       12, IdleTauSec: 14, IdleRatePerMin: 2.4,
 		IdleDests: []IdleDest{
 			{Host: "graph.facebook.com", Path: "/v12.0/app_events", Weight: 0.46},
 			{Host: "api.dolphin-browser.com", Path: "/v1/sync", Weight: 0.38},
@@ -415,7 +446,11 @@ func Whale() *Profile {
 		PII: PIILeaks{Resolution: true, LocalIP: true, Rooted: true,
 			Locale: true, Country: true, NetType: true},
 		PIICarrier: "api-whale.naver.com",
-		IdleBurst:  20, IdleTauSec: 16, IdleRatePerMin: 1.4,
+		// Config lookup whose qname's first label smuggles the device
+		// country ("cc-gr"): this copy of the attribute crosses the wire
+		// only inside a DoH POST body, as a length-prefixed DNS label.
+		DoHPIIQname: "cc-{CC}.t.whale.naver.com",
+		IdleBurst:   20, IdleTauSec: 16, IdleRatePerMin: 1.4,
 		IdleDests: []IdleDest{
 			{Host: "api-whale.naver.com", Path: "/config/update", Weight: 1},
 		},

@@ -94,6 +94,17 @@ func CampaignObsSummary(w io.Writer, r *obs.Registry) {
 	fmt.Fprintf(w, "  dns questions          %d doh / %d stub\n",
 		int64(sumLabel(r, "dns_queries_total", "transport", "doh")),
 		int64(sumLabel(r, "dns_queries_total", "transport", "stub")))
+	if r.Sum("mitm_transport_flows_total") > 0 {
+		fmt.Fprintf(w, "  transport mix          %d h1 / %d h2 / %d ws / %d doh flows\n",
+			int64(sumLabel(r, "mitm_transport_flows_total", "transport", "h1")),
+			int64(sumLabel(r, "mitm_transport_flows_total", "transport", "h2")),
+			int64(sumLabel(r, "mitm_transport_flows_total", "transport", "ws")),
+			int64(sumLabel(r, "mitm_transport_flows_total", "transport", "doh")))
+	}
+	if fb, byp := r.Sum("netsim_quic_fallback_total"), r.Sum("netsim_quic_bypass_total"); fb+byp > 0 {
+		fmt.Fprintf(w, "  quic arms race         %d forced TCP fallbacks / %d uncaptured h3 bypasses\n",
+			int64(fb), int64(byp))
+	}
 	fmt.Fprintf(w, "  virtual conns opened   %d (%d dial errors)\n",
 		r.Counter("netsim_conns_opened_total").Value(),
 		r.Counter("netsim_dial_errors_total").Value())

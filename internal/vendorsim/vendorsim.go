@@ -16,6 +16,7 @@ import (
 	"crypto/tls"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -23,8 +24,10 @@ import (
 	"time"
 
 	"panoptes/internal/dnssim"
+	"panoptes/internal/h2"
 	"panoptes/internal/netsim"
 	"panoptes/internal/pki"
+	"panoptes/internal/ws"
 )
 
 // LoggedRequest is one request a backend received.
@@ -59,6 +62,15 @@ func (b *Backend) Count() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.reqs)
+}
+
+// recordFrame logs one WebSocket frame payload delivered to the
+// backend's push endpoint, alongside the HTTP request log.
+func (b *Backend) recordFrame(now func() time.Time, path string, payload []byte) {
+	lr := LoggedRequest{Time: now(), Method: "WS", Path: path, Body: string(payload)}
+	b.mu.Lock()
+	b.reqs = append(b.reqs, lr)
+	b.mu.Unlock()
 }
 
 // record logs a request and returns it.
@@ -192,10 +204,35 @@ var backendHosts = []hostSpec{
 	{"downloads.vivaldi.com", "NO"},
 }
 
+// h2Hosts serve real HTTP/2 framing when the client offers "h2" via
+// ALPN — the vendor endpoints whose native telemetry rides h2 in the
+// testbed. Clients that offer no ALPN (or only http/1.1) get HTTP/1.1
+// from the same handler.
+var h2Hosts = map[string]bool{
+	"update.googleapis.com":       true,
+	"browser.events.data.msn.com": true,
+	"variations.brave.com":        true,
+}
+
+// h3Hosts advertise HTTP/3 support and bind a UDP/443 endpoint — the
+// origins QUIC-capable browsers probe before the firewall's block-http3
+// rule forces them back onto interceptable TCP.
+var h3Hosts = map[string]bool{
+	"update.googleapis.com": true,
+	"clients4.google.com":   true,
+	"variations.brave.com":  true,
+	"config.edge.skype.com": true,
+}
+
+// wsHost is the push endpoint that accepts a WebSocket upgrade and acks
+// each telemetry frame — Dolphin's frame-borne channel.
+const wsHost = "push.dolphin-browser.com"
+
 // Vendors is the running backend fleet.
 type Vendors struct {
 	backends map[string]*Backend
 	servers  []*http.Server
+	udps     []*netsim.UDPEndpoint
 	// DoHCloudflare and DoHGoogle expose the resolvers' query logs.
 	DoHCloudflare *dnssim.Handler
 	DoHGoogle     *dnssim.Handler
@@ -217,7 +254,7 @@ func Setup(inet *netsim.Internet, ca *pki.CA, now func() time.Time) (*Vendors, e
 		b := &Backend{Host: spec.host, Country: spec.country}
 		v.backends[spec.host] = b
 		handler := v.handlerFor(b)
-		l, _, err := inet.ListenDomain(spec.host, spec.country, 443)
+		l, ip, err := inet.ListenDomain(spec.host, spec.country, 443)
 		if err != nil {
 			return nil, fmt.Errorf("vendorsim: host %s: %w", spec.host, err)
 		}
@@ -225,12 +262,106 @@ func Setup(inet *netsim.Internet, ca *pki.CA, now func() time.Time) (*Vendors, e
 		if err != nil {
 			return nil, fmt.Errorf("vendorsim: certificate for %s: %w", spec.host, err)
 		}
+		tcfg := &tls.Config{Certificates: []tls.Certificate{cert}}
 		srv := &http.Server{Handler: handler}
-		go srv.Serve(tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{cert}}))
+		if h2Hosts[spec.host] {
+			// ALPN-splitting accept loop: h2 connections go to the
+			// frame-level server, everything else feeds the stdlib
+			// HTTP/1.1 server through a channel listener.
+			tcfg.NextProtos = []string{h2.ProtoName, "http/1.1"}
+			cl := newChanListener(l.Addr())
+			go srv.Serve(cl)
+			go serveALPNSplit(l, tcfg, cl, handler)
+		} else {
+			go srv.Serve(tls.NewListener(l, tcfg))
+		}
 		v.servers = append(v.servers, srv)
+
+		if h3Hosts[spec.host] {
+			inet.AdvertiseH3(spec.host)
+			ep, err := inet.ListenUDP(ip, 443)
+			if err != nil {
+				return nil, fmt.Errorf("vendorsim: udp/443 for %s: %w", spec.host, err)
+			}
+			v.udps = append(v.udps, ep)
+			go drainUDP(ep) // QUIC initials are acknowledged by existing
+		}
 	}
 	return v, nil
 }
+
+// serveALPNSplit accepts raw connections, handshakes TLS, and routes by
+// negotiated protocol: h2 to the frame server, anything else into cl.
+func serveALPNSplit(l net.Listener, tcfg *tls.Config, cl *chanListener, handler http.Handler) {
+	defer cl.Close()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			tc := tls.Server(c, tcfg)
+			if err := tc.Handshake(); err != nil {
+				c.Close()
+				return
+			}
+			if tc.ConnectionState().NegotiatedProtocol == h2.ProtoName {
+				h2.ServeConn(tc, handler)
+				return
+			}
+			cl.deliver(tc)
+		}(c)
+	}
+}
+
+// drainUDP consumes datagrams so a bound QUIC endpoint's queue stays
+// empty; delivery itself (the endpoint existing) is what the browser's
+// h3 probe observes.
+func drainUDP(ep *netsim.UDPEndpoint) {
+	buf := make([]byte, 2048)
+	for {
+		if _, _, err := ep.ReadFrom(buf); err != nil {
+			return
+		}
+	}
+}
+
+// chanListener adapts a stream of pre-handshaken TLS connections to
+// net.Listener for the stdlib HTTP/1.1 server.
+type chanListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+	addr net.Addr
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{ch: make(chan net.Conn, 16), done: make(chan struct{}), addr: addr}
+}
+
+func (l *chanListener) deliver(c net.Conn) {
+	select {
+	case l.ch <- c:
+	case <-l.done:
+		c.Close()
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *chanListener) Addr() net.Addr { return l.addr }
 
 // handlerFor wires per-host behaviour on top of the logging backend.
 func (v *Vendors) handlerFor(b *Backend) http.Handler {
@@ -250,6 +381,32 @@ func (v *Vendors) handlerFor(b *Backend) http.Handler {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintf(w, `{"articles":[{"id":%d,"title":"sim"},{"id":%d,"title":"sim"}]}`,
 				b.Count(), b.Count()+1)
+		}))
+	case wsHost:
+		// Push endpoint: accepts a WebSocket upgrade and acks every
+		// telemetry frame; plain HTTP requests fall through to the
+		// generic handler.
+		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !ws.IsUpgradeRequest(r) {
+				w.Header().Set("Content-Type", "application/json")
+				io.WriteString(w, `{"ok":true}`)
+				return
+			}
+			conn, err := ws.Upgrade(w, r)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			for {
+				op, msg, err := conn.ReadMessage()
+				if err != nil {
+					return
+				}
+				b.recordFrame(v.now, r.URL.Path, msg)
+				if err := conn.WriteMessage(op, []byte(`{"ok":true}`)); err != nil {
+					return
+				}
+			}
 		}))
 	case "s-odx.oleads.com":
 		return v.logWrap(b, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -292,10 +449,13 @@ func (v *Vendors) Hosts() []string {
 	return out
 }
 
-// Close stops all servers.
+// Close stops all servers and unbinds the QUIC endpoints.
 func (v *Vendors) Close() {
 	for _, s := range v.servers {
 		s.Close()
+	}
+	for _, ep := range v.udps {
+		ep.Close()
 	}
 }
 

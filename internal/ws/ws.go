@@ -114,6 +114,40 @@ func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 	return newConn(conn, brw.Reader, false), nil
 }
 
+// IsUpgradeRequest reports whether req is a WebSocket opening handshake.
+// The transparent proxy uses it to route an intercepted GET to the
+// upgrade path instead of the plain HTTP exchange path.
+func IsUpgradeRequest(r *http.Request) bool {
+	return strings.EqualFold(r.Header.Get("Upgrade"), "websocket") &&
+		headerContainsToken(r.Header.Get("Connection"), "upgrade")
+}
+
+// Accept performs the server side of the opening handshake directly over
+// a net.Conn for a request the caller already parsed — the path used by
+// the transparent proxy, which owns the raw (decrypted) connection and
+// has no http.ResponseWriter to hijack. br, when non-nil, carries bytes
+// already buffered past the request head.
+func Accept(conn net.Conn, br *bufio.Reader, r *http.Request) (*Conn, error) {
+	if !IsUpgradeRequest(r) {
+		return nil, ErrBadHandshake
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadHandshake)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, fmt.Errorf("%w: missing Sec-WebSocket-Key", ErrBadHandshake)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		return nil, fmt.Errorf("ws: write handshake response: %w", err)
+	}
+	return newConn(conn, br, false), nil
+}
+
 func headerContainsToken(header, token string) bool {
 	for _, part := range strings.Split(header, ",") {
 		if strings.EqualFold(strings.TrimSpace(part), token) {
@@ -123,19 +157,27 @@ func headerContainsToken(header, token string) bool {
 	return false
 }
 
-// Dial performs the client handshake for wsURL ("ws://host/path") over a
-// connection obtained from dial.
+// Dial performs the client handshake for wsURL ("ws://host/path" or
+// "wss://host/path") over a connection obtained from dial. For wss the
+// dial callback is responsible for returning a TLS-wrapped connection;
+// this layer only picks the default port (80 vs 443).
 func Dial(wsURL string, dial func(addr string) (net.Conn, error)) (*Conn, error) {
 	u, err := url.Parse(wsURL)
 	if err != nil {
 		return nil, fmt.Errorf("ws: parse url: %w", err)
 	}
-	if u.Scheme != "ws" {
+	defaultPort := ""
+	switch u.Scheme {
+	case "ws":
+		defaultPort = "80"
+	case "wss":
+		defaultPort = "443"
+	default:
 		return nil, fmt.Errorf("ws: unsupported scheme %q", u.Scheme)
 	}
 	host := u.Host
 	if !strings.Contains(host, ":") {
-		host += ":80"
+		host += ":" + defaultPort
 	}
 	conn, err := dial(host)
 	if err != nil {

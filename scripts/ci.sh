@@ -39,8 +39,10 @@ go test -race ./internal/match/... ./internal/pii/...
 echo "==> go test -race (sink, breaker: export dispatchers + shared breakers)"
 go test -race ./internal/sink/... ./internal/breaker/...
 
-echo "==> fault-seed chaos smoke (10% fault rate campaign under -race)"
-# A seeded chaos campaign must complete with every browser intact and
+echo "==> fault-seed chaos smoke (10% fault rate campaign under -race, all transports)"
+# A seeded chaos campaign over every data-plane transport (the fleet
+# includes h2, WebSocket and DoH speakers) must complete with every
+# browser intact and
 # every failed visit classified, and the determinism keystones must hold
 # across straight/resumed runs at parallelism 1 and 8 — including the
 # data-plane contract: warm (resumed TLS + pooled conns, with injected
@@ -73,6 +75,10 @@ $0 ~ "^Benchmark(" pattern ")" {
     row = "{\"bench\": \"" $1 "\""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "flows/sec")              row = row ", \"flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "h1_flows/sec")           row = row ", \"h1_flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "h2_flows/sec")           row = row ", \"h2_flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "ws_flows/sec")           row = row ", \"ws_flows_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "doh_flows/sec")          row = row ", \"doh_flows_per_sec\": \"" $(i - 1) "\""
         if ($(i) == "allocs/op")              row = row ", \"allocs_per_op\": \"" $(i - 1) "\""
         if ($(i) == "peak_queue_depth")       row = row ", \"peak_queue_depth\": \"" $(i - 1) "\""
         if ($(i) == "visits/sec")             row = row ", \"visits_per_sec\": \"" $(i - 1) "\""
@@ -93,7 +99,8 @@ echo "wrote BENCH_leakscan.json"
 
 # The crawl baseline pins the end-to-end data plane: visits/sec at
 # parallelism 1 and 8 plus the cold (no resumption, no reuse) ablation,
-# allocs/visit, and the handshake-resumed / conn-reuse rates.
+# allocs/visit, the handshake-resumed / conn-reuse rates, and the
+# per-transport capture throughput (h1/h2/ws/doh flows per second).
 echo "$crawl_out" | emit_bench_json "CrawlScaling" > BENCH_crawl.json
 echo "wrote BENCH_crawl.json"
 
