@@ -638,9 +638,13 @@ func BenchmarkCrawlScaling(b *testing.B) {
 		}
 	}
 
+	// The sites axis pairs Chrome with Dolphin so every transport moves:
+	// Chrome alone keeps the ws_flows/sec metric pinned at zero (no
+	// browser in the fleet but Dolphin pushes WebSocket telemetry).
 	for _, sites := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
-			crawl(b, core.WorldConfig{Sites: sites, Profiles: []*profiles.Profile{profiles.Chrome()}}, 1)
+			crawl(b, core.WorldConfig{Sites: sites,
+				Profiles: []*profiles.Profile{profiles.Chrome(), profiles.Dolphin()}}, 1)
 		})
 	}
 	// The parallel axis models a wide-area RTT on each proxied exchange

@@ -9,6 +9,7 @@
 //	panoptes -sites 200 -all
 //	panoptes -browsers Yandex,QQ -fig2 -leaks
 //	panoptes -fig5 -idle 10m
+//	panoptes -population 1000000 -duration 5m
 //	panoptes -table1
 //	panoptes -all -out results/
 package main
@@ -31,6 +32,7 @@ import (
 	"panoptes/internal/faultsim"
 	"panoptes/internal/leak"
 	"panoptes/internal/obs"
+	"panoptes/internal/popsim"
 	"panoptes/internal/profiles"
 	"panoptes/internal/report"
 	"panoptes/internal/sink"
@@ -55,6 +57,10 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 		waterfall   = flag.Int("waterfall", 0, "print an ASCII waterfall for the first N page-visit span trees")
+
+		population = flag.Int("population", 0, "simulate N users on the event-driven session engine instead of crawling with browser emulators (see -duration, -seed)")
+		popDur     = flag.Duration("duration", 5*time.Minute, "virtual duration of the -population run")
+		popSeed    = flag.Int64("seed", 42, "campaign seed of the -population session model; equal seeds reproduce runs byte-for-byte")
 
 		faultRate  = flag.Float64("faults", 0, "fault-injection rate per (browser, site, attempt), 0..1 over every fault kind")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault plan (with -faults)")
@@ -98,6 +104,18 @@ func main() {
 	if retainMode != capture.RetainAll && *checkpoint != "" {
 		fatalf("-checkpoint requires -retain=all (checkpoints snapshot the flow databases)")
 	}
+	if *population > 0 {
+		if *workersN > 0 || *checkpoint != "" || *resumeFrom != "" || *block {
+			fatalf("-population is incompatible with -workers, -checkpoint, -resume and -block (the session engine bypasses the proxy and the lease fabric)")
+		}
+		// A million-user run only stays in memory with retention off;
+		// default there unless the operator chose a mode explicitly.
+		retainExplicit := false
+		flag.Visit(func(f *flag.Flag) { retainExplicit = retainExplicit || f.Name == "retain" })
+		if !retainExplicit {
+			retainMode = capture.RetainNone
+		}
+	}
 	if *workersN > 0 {
 		if *checkpoint != "" || *resumeFrom != "" {
 			fatalf("-workers is incompatible with -checkpoint/-resume: the fabric's leases already partition and resume the campaign internally")
@@ -136,6 +154,11 @@ func main() {
 	}
 	if *all {
 		*crossF = true
+	}
+	if *population > 0 && !(*fig2 || *fig3 || *fig4 || *fig5 || *table2 || *leaksF || *geoF || *dnsF || *listing1) {
+		// The population deliverables: the Table 2 matrix and the
+		// phone-home timeline over the simulated population.
+		*table2, *fig5 = true, true
 	}
 	if !(*table1 || *fig2 || *fig3 || *fig4 || *fig5 || *table2 || *leaksF || *geoF || *dnsF || *listing1 || *crossF) {
 		fmt.Fprintln(os.Stderr, "panoptes: nothing selected; pass -all or specific -figN/-tableN flags")
@@ -235,7 +258,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "panoptes: fault injection armed (rate=%.2g seed=%d)\n", *faultRate, *faultSeed)
 	}
 
-	if needCrawl {
+	// Population mode replaces the emulator crawl: the event-driven
+	// session engine synthesizes the population's traffic straight into
+	// the same capture DB and streaming analyses.
+	var pop *popsim.Engine
+	if *population > 0 {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "panoptes: population run: %d users × %v virtual over %d sites (seed=%d)...\n",
+			*population, *popDur, len(w.Sites), *popSeed)
+		e, err := w.RunPopulation(core.PopulationConfig{
+			Population:  *population,
+			Duration:    *popDur,
+			Seed:        *popSeed,
+			Parallelism: *parallel,
+		})
+		if err != nil {
+			fatalf("population: %v", err)
+		}
+		pop = e
+		s := e.Stats()
+		fmt.Fprintf(os.Stderr, "panoptes: population: %d users arrived (%d churned), %d sessions, %d visits, %d flows, %d session starts throttled in %v wall\n",
+			s.ArrivedUsers, s.ChurnedUsers, s.Sessions, s.Visits, s.FlowsCommitted,
+			s.Throttled, time.Since(start).Round(time.Millisecond))
+	}
+
+	if needCrawl && pop == nil {
 		var res *core.CampaignResult
 		start := time.Now()
 		if *workersN > 0 {
@@ -411,18 +458,31 @@ func main() {
 	}
 
 	if *fig5 {
-		fmt.Fprintf(os.Stderr, "panoptes: idle experiment (%v virtual) ...\n", *idleDur)
 		var series []analysis.Fig5Series
-		for _, name := range names {
-			r, err := w.RunIdle(name, *idleDur)
-			if err != nil {
-				fatalf("idle %s: %v", name, err)
-			}
-			s := analysis.Fig5(name, r.Flows, r.Start, *idleDur, 10)
-			series = append(series, s)
+		if pop != nil {
+			// Population mode: the phone-home timeline was folded in on
+			// the commit tap during the run; no idle experiment needed.
+			series = pop.Curve().Series()
 			if *outDir != "" {
-				fn := fmt.Sprintf("fig5_%s.csv", strings.ReplaceAll(strings.ToLower(name), " ", "_"))
-				writeFile(*outDir, fn, func(f *os.File) { report.CSVFig5(f, s) })
+				for _, s := range series {
+					s := s
+					fn := fmt.Sprintf("population_curve_%s.csv", strings.ReplaceAll(strings.ToLower(s.Browser), " ", "_"))
+					writeFile(*outDir, fn, func(f *os.File) { report.CSVFig5(f, s) })
+				}
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "panoptes: idle experiment (%v virtual) ...\n", *idleDur)
+			for _, name := range names {
+				r, err := w.RunIdle(name, *idleDur)
+				if err != nil {
+					fatalf("idle %s: %v", name, err)
+				}
+				s := analysis.Fig5(name, r.Flows, r.Start, *idleDur, 10)
+				series = append(series, s)
+				if *outDir != "" {
+					fn := fmt.Sprintf("fig5_%s.csv", strings.ReplaceAll(strings.ToLower(name), " ", "_"))
+					writeFile(*outDir, fn, func(f *os.File) { report.CSVFig5(f, s) })
+				}
 			}
 		}
 		sort.Slice(series, func(i, j int) bool { return series[i].Total > series[j].Total })
@@ -453,6 +513,10 @@ func main() {
 		fmt.Println()
 		report.PipelineObsSummary(os.Stdout, obs.Default)
 		fmt.Println()
+		if pop != nil {
+			report.PopulationObsSummary(os.Stdout, obs.Default)
+			fmt.Println()
+		}
 		if w.Exporter != nil {
 			report.SinkObsSummary(os.Stdout, obs.Default)
 			fmt.Println()

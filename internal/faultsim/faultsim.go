@@ -66,6 +66,11 @@ const (
 	WorkerCrash   Kind = "worker_crash"   // worker dies mid-lease; its lease is reclaimed
 	WorkerStall   Kind = "worker_stall"   // worker freezes past its lease deadline
 	TransportDrop Kind = "transport_drop" // a worker→coordinator send is dropped
+
+	// Population kind (ISSUE 10): a simulated user abandons the
+	// population for good at a session boundary. Consulted by the
+	// popsim engine at session admission via UserChurnFault.
+	UserChurn Kind = "user_churn"
 )
 
 // ArmedKinds participate in the deterministic per-attempt arming model, in
@@ -460,6 +465,32 @@ func (inj *Injector) WorkerFault(workerID, leaseBrowser string, leaseSeq int) (K
 		}
 	}
 	return "", false
+}
+
+// UserChurnFault decides whether a simulated population user leaves
+// for good at the given session boundary. Pure rate mode: the decision
+// is a hash of (seed, browser, user, session) — independent of event
+// interleaving, parallelism and resume, so churn never perturbs the
+// population determinism keystones. The per-attempt arming ladder (and
+// its MaxFaultAttempts bound) does not apply: sessions are not retried
+// navigations.
+func (inj *Injector) UserChurnFault(browser string, user, sess int) bool {
+	if inj == nil {
+		return false
+	}
+	rate := inj.plan.Rates[UserChurn]
+	if rate <= 0 {
+		return false
+	}
+	if hashFrac(inj.plan.Seed, "armed", string(UserChurn), browser,
+		fmt.Sprint(user), fmt.Sprint(sess)) >= rate {
+		return false
+	}
+	inj.mu.Lock()
+	inj.injected[UserChurn]++
+	inj.mu.Unlock()
+	obs.Default.Counter("fault_injected_total", "kind", string(UserChurn)).Inc()
+	return true
 }
 
 // TransportFault is the fabric transport's injectable send failure: a

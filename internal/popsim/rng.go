@@ -1,0 +1,104 @@
+// Package popsim is the population-scale session engine: an event-driven
+// scheduler over the virtual clock that simulates the browsing of very
+// large user populations (ROADMAP item 3) on one core. Instead of a
+// goroutine and a browser emulator per user, a single timing-wheel loop
+// walks 16-byte visit events over lightweight user records whose entire
+// behaviour — browser choice, session timing, dwell, site selection,
+// persistent identifiers — is a pure function of (campaign seed, user,
+// session, visit). The synthesized traffic carries the same shapes the
+// browser emulators produce (engine fetches, phone-home beacons, PII
+// queries, WebSocket telemetry, DoH bodies), so the existing streaming
+// analyses compute the paper's figures and tables from a population
+// instead of a 15-browser fleet, with resident memory bounded by the
+// analyzers' state rather than the population size.
+package popsim
+
+import "math"
+
+// The samplers never draw from a stateful generator: every random
+// quantity is a hash of (seed, stream, user, session, visit). That is
+// what makes runs byte-reproducible regardless of event-loop
+// interleaving, parallel flow synthesis, or pause/resume — there is no
+// generator state to share or advance out of order.
+const (
+	streamBrowser uint64 = iota + 1
+	streamActivity
+	streamGap
+	streamVisits
+	streamDwell
+	streamSite
+	streamUUID
+	streamNoise
+	streamArrival
+	streamUUIDPool
+	streamDNSID
+)
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rng hashes coordinates into uniforms. The zero value is usable but
+// every engine derives its seed from the campaign seed.
+type rng struct{ seed uint64 }
+
+// raw maps (stream, a, b, c) to a well-mixed 64-bit value.
+func (r rng) raw(stream, a, b, c uint64) uint64 {
+	h := mix64(r.seed ^ stream*0x9e3779b97f4a7c15)
+	h = mix64(h ^ a*0xc2b2ae3d27d4eb4f)
+	h = mix64(h ^ b*0x165667b19e3779f9)
+	h = mix64(h ^ c*0x27d4eb2f165667c5)
+	return h
+}
+
+// uniform maps the hash to (0,1) — never exactly 0 or 1, so logs and
+// reciprocals downstream are always finite.
+func (r rng) uniform(stream, a, b, c uint64) float64 {
+	return (float64(r.raw(stream, a, b, c)>>11) + 0.5) / (1 << 53)
+}
+
+// exp draws an exponential with the given mean.
+func (r rng) exp(mean float64, stream, a, b, c uint64) float64 {
+	return -mean * math.Log(r.uniform(stream, a, b, c))
+}
+
+// normal draws a standard normal via Box-Muller, using two decorrelated
+// streams derived from the same coordinates.
+func (r rng) normal(stream, a, b, c uint64) float64 {
+	u1 := r.uniform(stream, a, b, c)
+	u2 := r.uniform(stream^0x5851f42d4c957f2d, a, b, c)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// logNormal draws exp(mu + sigma·N).
+func (r rng) logNormal(mu, sigma float64, stream, a, b, c uint64) float64 {
+	return math.Exp(mu + sigma*r.normal(stream, a, b, c))
+}
+
+// pareto draws a Pareto(alpha) with scale xm (heavy right tail).
+func (r rng) pareto(alpha, xm float64, stream, a, b, c uint64) float64 {
+	u := r.uniform(stream, a, b, c)
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// hexID renders a 64-hex-char identifier (the shape browser.mintUUID
+// produces, so the trackable-ID miner treats pool identifiers exactly
+// like real ones).
+func (r rng) hexID(stream, a, b, c uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [64]byte
+	for w := 0; w < 4; w++ {
+		v := r.raw(stream, a, b, c+uint64(w)<<32)
+		for i := 0; i < 16; i++ {
+			buf[w*16+i] = digits[v&0xf]
+			v >>= 4
+		}
+	}
+	return string(buf[:])
+}

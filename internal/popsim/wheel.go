@@ -1,0 +1,84 @@
+package popsim
+
+// event is one scheduled page visit: 16 bytes, so a million pending
+// events cost ~16 MB where a goroutine-per-user design costs ~8 KB of
+// stack each. visit 0 is a session start and passes admission control;
+// later visits of an admitted session fire unconditionally.
+type event struct {
+	tick  uint32 // absolute engine tick the event is due at
+	user  uint32
+	sess  uint32
+	visit uint32
+}
+
+// wheelSlots must be a power of two. 8192 slots × 100 ms tick = a
+// ~13-minute horizon; events beyond it wait in the overflow list and
+// are rebinned when the cursor wraps into their window.
+const wheelSlots = 8192
+
+// wheel is a single-threaded timing wheel. Events in one slot keep
+// insertion order, and the loop thread is the only writer, so the
+// fire order of simultaneous events is deterministic by construction.
+type wheel struct {
+	slots    [wheelSlots][]event
+	cursor   uint32 // next tick to fire
+	overflow []event
+	pending  int
+}
+
+func newWheel() *wheel { return &wheel{} }
+
+// schedule files an event. Events due now or earlier are clamped to
+// the next unfired tick so a visit can never reenter the tick being
+// processed.
+func (w *wheel) schedule(e event) {
+	if e.tick < w.cursor {
+		e.tick = w.cursor
+	}
+	w.pending++
+	if e.tick-w.cursor >= wheelSlots {
+		w.overflow = append(w.overflow, e)
+		return
+	}
+	idx := e.tick & (wheelSlots - 1)
+	w.slots[idx] = append(w.slots[idx], e)
+}
+
+// take appends the events due at the cursor tick to buf (preserving
+// insertion order), advances the cursor, and returns buf. Entries in
+// the slot belonging to later laps stay, order preserved.
+func (w *wheel) take(buf []event) []event {
+	t := w.cursor
+	idx := t & (wheelSlots - 1)
+	slot := w.slots[idx]
+	keep := slot[:0]
+	for _, e := range slot {
+		if e.tick == t {
+			buf = append(buf, e)
+			w.pending--
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	w.slots[idx] = keep
+	w.cursor++
+	if w.cursor&(wheelSlots-1) == 0 {
+		w.rebin()
+	}
+	return buf
+}
+
+// rebin refiles overflow events that now fall inside the wheel window.
+// Runs once per wheel lap (every ~13 virtual minutes), so the extra
+// allocation is negligible.
+func (w *wheel) rebin() {
+	ov := w.overflow
+	w.overflow = nil
+	for _, e := range ov {
+		w.pending-- // schedule re-counts it
+		w.schedule(e)
+	}
+}
+
+// Pending reports how many events are filed (slots + overflow).
+func (w *wheel) Pending() int { return w.pending }

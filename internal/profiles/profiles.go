@@ -143,6 +143,15 @@ type Profile struct {
 	// the device country, so the PII rides only inside the DoH query
 	// body as an encoded qname label.
 	DoHPIIQname string
+
+	// MarketSharePct is the browser's approximate share of the mobile
+	// (Android) browser market at the time of the study, in percent.
+	// The 15 profiles do not sum to 100 — the paper's dataset excludes
+	// browsers the testbed cannot instrument — so consumers treat the
+	// values as relative sampling weights (see MarketWeights), not a
+	// partition of the market. The population simulator draws each
+	// simulated user's browser from this mix.
+	MarketSharePct float64
 }
 
 // UserAgent renders the profile's UA string on the testbed device.
@@ -171,12 +180,42 @@ func ByName(name string) *Profile {
 	return nil
 }
 
+// MarketWeights returns the profiles' market shares as cumulative
+// sampling weights normalised to [0,1): weights[i] is the upper edge of
+// profile i's interval, weights[len-1] == 1. A uniform draw u picks the
+// first i with u < weights[i]. Profiles with a zero share are given a
+// small floor weight so every fleet member appears in large populations.
+func MarketWeights(ps []*Profile) []float64 {
+	const floor = 0.05 // percent — tail browsers still occur ~1 in 2000 users
+	raw := make([]float64, len(ps))
+	total := 0.0
+	for i, p := range ps {
+		w := p.MarketSharePct
+		if w <= 0 {
+			w = floor
+		}
+		raw[i] = w
+		total += w
+	}
+	out := make([]float64, len(ps))
+	cum := 0.0
+	for i, w := range raw {
+		cum += w / total
+		out[i] = cum
+	}
+	if len(out) > 0 {
+		out[len(out)-1] = 1
+	}
+	return out
+}
+
 // Chrome: the quiet baseline — safe-browsing and update checks only, no
 // PII beyond the UA, local... Chrome actually uses Google DoH.
 func Chrome() *Profile {
 	return &Profile{
 		Name: "Chrome", Package: "com.android.chrome", Version: "113.0.5672.77",
-		ChromeUA: "113.0.5672.77", Instrumentation: InstrumentCDP,
+		MarketSharePct: 63.5,
+		ChromeUA:       "113.0.5672.77", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHGoogle, HasIncognito: true,
 		VisitNoise: 1, NoiseHosts: []string{"safebrowsing.googleapis.com"}, NoiseBytes: 60,
 		AttemptsQUIC: true,
@@ -197,7 +236,8 @@ func Chrome() *Profile {
 func Edge() *Profile {
 	return &Profile{
 		Name: "Edge", Package: "com.microsoft.emmx", Version: "113.0.1774.38",
-		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 1.6,
+		ChromeUA:       "113.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		OnVisit: []NativeTemplate{
 			{Host: "api.bing.com", Path: "/search/suggestions", Method: "GET", Query: "q={HOST}&mkt=en-GR"},
@@ -242,7 +282,8 @@ func Edge() *Profile {
 func Opera() *Profile {
 	return &Profile{
 		Name: "Opera", Package: "com.opera.browser", Version: "75.1.3978.72329",
-		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 2.9,
+		ChromeUA:       "113.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		OnVisit: []NativeTemplate{
 			{Host: "sitecheck2.opera.com", Path: "/api/v1/check", Method: "GET", Query: "host={HOST}"},
@@ -281,7 +322,8 @@ func Opera() *Profile {
 func Vivaldi() *Profile {
 	return &Profile{
 		Name: "Vivaldi", Package: "com.vivaldi.browser", Version: "6.0.2980.33",
-		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.3,
+		ChromeUA:       "112.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		VisitNoise: 9, NoiseHosts: []string{"update.vivaldi.com", "downloads.vivaldi.com"},
 		NoiseBytes: 70,
@@ -302,7 +344,8 @@ func Vivaldi() *Profile {
 func Yandex() *Profile {
 	return &Profile{
 		Name: "Yandex", Package: "com.yandex.browser", Version: "23.3.7.24",
-		ChromeUA: "110.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 1.1,
+		ChromeUA:       "110.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSLocal, HasIncognito: false,
 		OnVisit: []NativeTemplate{
 			{Host: "sba.yandex.net", Path: "/safebrowsing/check", Method: "GET", Query: "url={URL_B64}&fmt=b64"},
@@ -333,7 +376,8 @@ func Yandex() *Profile {
 func Brave() *Profile {
 	return &Profile{
 		Name: "Brave", Package: "com.brave.browser", Version: "1.51.114",
-		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.9,
+		ChromeUA:       "113.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		VisitNoise: 1, NoiseHosts: []string{"variations.brave.com"}, NoiseBytes: 30,
 		AttemptsQUIC: true,
@@ -350,7 +394,8 @@ func Brave() *Profile {
 func Samsung() *Profile {
 	return &Profile{
 		Name: "Samsung", Package: "com.sec.android.app.sbrowser", Version: "20.0.6.5",
-		ChromeUA: "111.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 4.9,
+		ChromeUA:       "111.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHCloudflare, HasIncognito: true,
 		VisitNoise: 2, NoiseHosts: []string{"api.internet.apps.samsung.com"}, NoiseBytes: 80,
 		PII:        PIILeaks{Locale: true},
@@ -368,7 +413,8 @@ func Samsung() *Profile {
 func QQ() *Profile {
 	return &Profile{
 		Name: "QQ", Package: "com.tencent.mtt", Version: "13.7.6.6042",
-		ChromeUA: "108.0.0.0", Instrumentation: InstrumentFrida,
+		MarketSharePct: 0.8,
+		ChromeUA:       "108.0.0.0", Instrumentation: InstrumentFrida,
 		DNS: DNSLocal, HasIncognito: false,
 		OnVisit: []NativeTemplate{
 			{Host: "wup.browser.qq.com", Path: "/report/url", Method: "POST",
@@ -396,7 +442,8 @@ func QQ() *Profile {
 func DuckDuckGo() *Profile {
 	return &Profile{
 		Name: "DuckDuckGo", Package: "com.duckduckgo.mobile.android", Version: "5.158.0",
-		ChromeUA: "113.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.5,
+		ChromeUA:       "113.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSLocal, HasIncognito: true,
 		VisitNoise: 2, NoiseHosts: []string{"improving.duckduckgo.com", "staticcdn.duckduckgo.com"},
 		NoiseBytes: 70,
@@ -413,7 +460,8 @@ func DuckDuckGo() *Profile {
 func Dolphin() *Profile {
 	return &Profile{
 		Name: "Dolphin", Package: "mobi.mgeek.TunnyBrowser", Version: "12.2.9",
-		ChromeUA: "95.0.0.0", Instrumentation: InstrumentFrida,
+		MarketSharePct: 0.2,
+		ChromeUA:       "95.0.0.0", Instrumentation: InstrumentFrida,
 		DNS: DNSLocal, HasIncognito: true,
 		VisitNoise: 5,
 		NoiseHosts: []string{
@@ -440,7 +488,8 @@ func Dolphin() *Profile {
 func Whale() *Profile {
 	return &Profile{
 		Name: "Whale", Package: "com.naver.whale", Version: "2.10.2.2",
-		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.4,
+		ChromeUA:       "112.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHGoogle, HasIncognito: true,
 		VisitNoise: 9, NoiseHosts: []string{"api-whale.naver.com"}, NoiseBytes: 70,
 		PII: PIILeaks{Resolution: true, LocalIP: true, Rooted: true,
@@ -462,7 +511,8 @@ func Whale() *Profile {
 func Mint() *Profile {
 	return &Profile{
 		Name: "Mint", Package: "com.mi.globalbrowser.mini", Version: "3.9.3",
-		ChromeUA: "100.0.0.0", Instrumentation: InstrumentFrida,
+		MarketSharePct: 0.2,
+		ChromeUA:       "100.0.0.0", Instrumentation: InstrumentFrida,
 		DNS: DNSLocal, HasIncognito: true,
 		VisitNoise: 4,
 		NoiseHosts: []string{
@@ -486,7 +536,8 @@ func Mint() *Profile {
 func Kiwi() *Profile {
 	return &Profile{
 		Name: "Kiwi", Package: "com.kiwibrowser.browser", Version: "112.0.5615.137",
-		ChromeUA: "112.0.5615.137", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.2,
+		ChromeUA:       "112.0.5615.137", Instrumentation: InstrumentCDP,
 		DNS: DNSDoHGoogle, HasIncognito: true,
 		VisitNoise: 3,
 		NoiseHosts: []string{
@@ -512,7 +563,8 @@ func Kiwi() *Profile {
 func CocCoc() *Profile {
 	return &Profile{
 		Name: "CocCoc", Package: "com.coccoc.trinhduyet", Version: "117.0.177",
-		ChromeUA: "112.0.0.0", Instrumentation: InstrumentCDP,
+		MarketSharePct: 0.3,
+		ChromeUA:       "112.0.0.0", Instrumentation: InstrumentCDP,
 		DNS: DNSLocal, HasIncognito: true,
 		EngineAdBlock: true,
 		VisitNoise:    8,
@@ -540,7 +592,8 @@ func CocCoc() *Profile {
 func UCInternational() *Profile {
 	return &Profile{
 		Name: "UC International", Package: "com.UCMobile.intl", Version: "13.4.2.1307",
-		ChromeUA: "100.0.0.0", Instrumentation: InstrumentFrida,
+		MarketSharePct: 2.8,
+		ChromeUA:       "100.0.0.0", Instrumentation: InstrumentFrida,
 		DNS: DNSLocal, HasIncognito: true,
 		VisitNoise: 4, NoiseHosts: []string{"puds.ucweb.com"}, NoiseBytes: 80,
 		PII:           PIILeaks{Locale: true, NetType: true},

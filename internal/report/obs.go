@@ -191,6 +191,27 @@ func SinkObsSummary(w io.Writer, r *obs.Registry) {
 	}
 }
 
+// PopulationObsSummary renders the population session engine's view:
+// active users, sessions admitted, scheduler pressure and admission
+// throttling. Quiet when no population ran (emulator-only campaign).
+func PopulationObsSummary(w io.Writer, r *obs.Registry) {
+	sessions := r.Counter("popsim_sessions_total").Value()
+	if sessions == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Population engine summary")
+	fmt.Fprintf(w, "  active users           %d\n",
+		int64(r.Gauge("popsim_active_users").Value()))
+	fmt.Fprintf(w, "  sessions admitted      %d\n", sessions)
+	fmt.Fprintf(w, "  events scheduled       %d\n",
+		r.Counter("popsim_events_scheduled_total").Value())
+	fmt.Fprintf(w, "  admission throttled    %d session starts deferred\n",
+		r.Counter("popsim_admission_throttled_total").Value())
+	if churned := sumLabel(r, "fault_injected_total", "kind", "user_churn"); churned > 0 {
+		fmt.Fprintf(w, "  churned users          %d\n", int64(churned))
+	}
+}
+
 // FabricObsSummary renders the distributed fabric's view: lease
 // lifecycle counts, worker restarts, merge lag and transport health.
 // Quiet when no leases were issued (single-process run).

@@ -52,6 +52,14 @@ echo "==> fault-seed chaos smoke (10% fault rate campaign under -race, all trans
 go test -race -count=1 -run 'TestChaosCampaign|TestFaultCampaignDeterminism|TestDataPlaneDeterminism|TestFabricDeterminism' \
     ./internal/core/ ./internal/faultsim/ ./internal/fabric/
 
+echo "==> population engine gate (determinism keystone + 10k-user bounded-residency smoke under -race)"
+# The population keystone pins the analyses byte-identical across
+# synthesis parallelism 1/8 and pause/resume; the bounded-residency
+# smoke runs 10k users under retain=none and requires zero resident
+# flows and head-sampling under its cap.
+go test -race -count=1 -run 'TestPopulationDeterminism|TestPopulationBoundedResidency' \
+    ./internal/popsim/
+
 echo "==> benchmark smoke: crawl scaling (visits/sec, parallelism 1 vs N, warm vs cold data plane)"
 crawl_out=$(go test -run '^$' -bench CrawlScaling -benchtime=1x .)
 echo "$crawl_out"
@@ -86,6 +94,8 @@ $0 ~ "^Benchmark(" pattern ")" {
         if ($(i) == "handshake_resumed_pct")  row = row ", \"handshake_resumed_pct\": \"" $(i - 1) "\""
         if ($(i) == "conn_reuse_pct")         row = row ", \"conn_reuse_pct\": \"" $(i - 1) "\""
         if ($(i) == "lease_reclaims")         row = row ", \"lease_reclaims\": \"" $(i - 1) "\""
+        if ($(i) == "sessions/sec")           row = row ", \"sessions_per_sec\": \"" $(i - 1) "\""
+        if ($(i) == "peak_rss_mb")            row = row ", \"peak_rss_mb\": \"" $(i - 1) "\""
     }
     row = row "}"
     if (!first) printf ",\n"
@@ -118,5 +128,15 @@ sink_out=$(go test -run '^$' -bench SinkThroughput -benchmem -benchtime=1x ./int
 echo "$sink_out"
 echo "$sink_out" | emit_bench_json "SinkThroughput" > BENCH_sink.json
 echo "wrote BENCH_sink.json"
+
+echo "==> benchmark smoke: population scaling (sessions/sec + peak RSS at 10k/100k/1M users)"
+# The population baseline pins the tentpole claim: wall-clock session
+# throughput stays flat and peak RSS stays bounded while the simulated
+# population grows 100x on the full streaming-analysis plane. The 1M
+# point is the long pole (a few minutes of one-core wall time).
+pop_out=$(go test -run '^$' -bench PopulationScaling -benchtime=1x -timeout 30m ./internal/popsim/)
+echo "$pop_out"
+echo "$pop_out" | emit_bench_json "PopulationScaling" > BENCH_population.json
+echo "wrote BENCH_population.json"
 
 echo "==> ci.sh: all checks passed"
